@@ -1,0 +1,338 @@
+// Package alicoco is the public API of the AliCoCo reproduction: build (or
+// load) the e-commerce cognitive concept net, inspect it, and run the two
+// flagship applications — semantic search with concept cards and cognitive
+// recommendation (Luo et al., SIGMOD 2020).
+//
+// Quick start:
+//
+//	coco, err := alicoco.Build(alicoco.Small())
+//	res := coco.Search("outdoor barbecue", 10)
+//	fmt.Println(res.Cards[0].Name, res.Cards[0].Items)
+package alicoco
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"alicoco/internal/apps/recommend"
+	"alicoco/internal/apps/search"
+	"alicoco/internal/core"
+	"alicoco/internal/inference"
+	"alicoco/internal/pipeline"
+	"alicoco/internal/world"
+)
+
+// Options sizes the net construction. Use Small or Default and tweak.
+type Options struct {
+	// Seed makes the whole build deterministic.
+	Seed int64
+	// ItemsPerCategory controls the item layer size.
+	ItemsPerCategory int
+	// Scenarios controls how many shopping scenarios beyond the
+	// handcrafted set are generated.
+	Scenarios int
+	// CorpusSentences controls the synthetic corpus size per source.
+	CorpusSentences int
+}
+
+// Small returns a fast, test-sized configuration.
+func Small() Options {
+	return Options{Seed: 7, ItemsPerCategory: 3, Scenarios: 20, CorpusSentences: 300}
+}
+
+// Default returns the laptop-scale configuration used by the experiment
+// harness.
+func Default() Options {
+	return Options{Seed: 42, ItemsPerCategory: 12, Scenarios: 120, CorpusSentences: 2000}
+}
+
+// CoCo is a built concept net plus its application engines.
+type CoCo struct {
+	arts   *pipeline.Artifacts
+	search *search.Engine
+	rec    *recommend.Engine
+}
+
+// Build constructs the net end-to-end from a synthetic corpus.
+func Build(opts Options) (*CoCo, error) {
+	popts := pipeline.DefaultOptions()
+	popts.World.Seed = opts.Seed
+	popts.World.ItemsPerLeaf = opts.ItemsPerCategory
+	popts.World.GeneratedFrames = opts.Scenarios
+	popts.Queries = opts.CorpusSentences
+	popts.Reviews = opts.CorpusSentences
+	popts.Guides = opts.CorpusSentences
+	arts, err := pipeline.Build(popts)
+	if err != nil {
+		return nil, err
+	}
+	return &CoCo{
+		arts:   arts,
+		search: search.NewEngine(arts.Net, arts.World.Stopwords()),
+		rec:    recommend.NewEngine(arts.Net),
+	}, nil
+}
+
+// SaveSnapshot writes the net to a file.
+func (c *CoCo) SaveSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.arts.Net.Save(f)
+}
+
+// Stats summarizes the net (the Table 2 shape).
+type Stats struct {
+	Classes, Primitives, EConcepts, Items int
+	Relations                             int
+	PrimitivesByDomain                    map[string]int
+	IsAPrimitive, IsAEConcept             int
+	AvgPrimitivesPerItem                  float64
+	AvgEConceptsPerItem                   float64
+	AvgItemsPerEConcept                   float64
+}
+
+// Stats computes current statistics.
+func (c *CoCo) Stats() Stats {
+	s := c.arts.Net.ComputeStats()
+	return Stats{
+		Classes:              s.PerKind["class"],
+		Primitives:           s.PerKind["primitive"],
+		EConcepts:            s.PerKind["econcept"],
+		Items:                s.PerKind["item"],
+		Relations:            s.Edges,
+		PrimitivesByDomain:   s.PrimitivesByDom,
+		IsAPrimitive:         s.IsAPrimitive,
+		IsAEConcept:          s.IsAEConcept,
+		AvgPrimitivesPerItem: s.AvgPrimitivesPerItem,
+		AvgEConceptsPerItem:  s.AvgEConceptsPerItem,
+		AvgItemsPerEConcept:  s.AvgItemsPerEConcept,
+	}
+}
+
+// Render formats the stats as a Table-2-style block.
+func (s Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Primitive concepts   %d\n", s.Primitives)
+	fmt.Fprintf(&b, "# E-commerce concepts  %d\n", s.EConcepts)
+	fmt.Fprintf(&b, "# Items                %d\n", s.Items)
+	fmt.Fprintf(&b, "# Relations            %d\n", s.Relations)
+	fmt.Fprintf(&b, "# IsA (primitive)      %d\n", s.IsAPrimitive)
+	fmt.Fprintf(&b, "# IsA (e-commerce)     %d\n", s.IsAEConcept)
+	fmt.Fprintf(&b, "avg primitives/item    %.1f\n", s.AvgPrimitivesPerItem)
+	fmt.Fprintf(&b, "avg e-concepts/item    %.1f\n", s.AvgEConceptsPerItem)
+	fmt.Fprintf(&b, "avg items/e-concept    %.1f\n", s.AvgItemsPerEConcept)
+	return b.String()
+}
+
+// Item is a sellable unit in the net.
+type Item struct {
+	ID       int
+	Title    string
+	Category string
+}
+
+// Items lists every item.
+func (c *CoCo) Items() []Item {
+	out := make([]Item, 0, len(c.arts.World.Items))
+	for _, it := range c.arts.World.Items {
+		out = append(out, Item{
+			ID:       it.ID,
+			Title:    strings.Join(it.Title, " "),
+			Category: c.arts.World.Prim(it.Leaf).Name(),
+		})
+	}
+	return out
+}
+
+// ConceptCard is a shopping-scenario card: the concept name and the titles
+// of its top associated items (Figure 2 of the paper).
+type ConceptCard struct {
+	Name  string
+	Items []Item
+}
+
+// SearchResult is the response to a query.
+type SearchResult struct {
+	Cards []ConceptCard
+	Items []Item
+}
+
+// Search answers a free-text query with concept cards and item hits.
+func (c *CoCo) Search(query string, maxItems int) SearchResult {
+	resp := c.search.Search(query, maxItems)
+	var out SearchResult
+	for _, card := range resp.Cards {
+		out.Cards = append(out.Cards, ConceptCard{Name: card.Name, Items: c.itemsOf(card.Items)})
+	}
+	out.Items = c.itemsOf(resp.Items)
+	return out
+}
+
+func (c *CoCo) itemsOf(ids []core.NodeID) []Item {
+	rev := c.itemByNode()
+	var out []Item
+	for _, id := range ids {
+		if it, ok := rev[id]; ok {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (c *CoCo) itemByNode() map[core.NodeID]Item {
+	rev := make(map[core.NodeID]Item, len(c.arts.ItemNode))
+	for wid, nid := range c.arts.ItemNode {
+		it := c.arts.World.Items[wid]
+		rev[nid] = Item{ID: wid, Title: strings.Join(it.Title, " "), Category: c.arts.World.Prim(it.Leaf).Name()}
+	}
+	return rev
+}
+
+// Recommendation is a concept card with its user-facing reason string.
+type Recommendation struct {
+	Reason string
+	Card   ConceptCard
+}
+
+// Recommend infers the user's scenario from viewed item IDs and returns a
+// concept card of unseen items, with the concept name as the reason.
+func (c *CoCo) Recommend(viewedItemIDs []int, k int) (Recommendation, bool) {
+	viewed := make([]core.NodeID, 0, len(viewedItemIDs))
+	for _, id := range viewedItemIDs {
+		if node, ok := c.arts.ItemNode[id]; ok {
+			viewed = append(viewed, node)
+		}
+	}
+	rec, ok := c.rec.Recommend(viewed, k)
+	if !ok {
+		return Recommendation{}, false
+	}
+	nd, _ := c.arts.Net.Node(rec.Concept)
+	return Recommendation{
+		Reason: rec.Reason,
+		Card:   ConceptCard{Name: nd.Name, Items: c.itemsOf(rec.Items)},
+	}, true
+}
+
+// Concept describes one e-commerce concept: its interpreting primitive
+// concepts (domain:name) and its associated item count.
+type Concept struct {
+	Name       string
+	Primitives []string
+	ItemCount  int
+}
+
+// Concepts lists every e-commerce concept.
+func (c *CoCo) Concepts() []Concept {
+	var out []Concept
+	for _, id := range c.arts.Net.NodesOfKind(core.KindEConcept) {
+		nd, _ := c.arts.Net.Node(id)
+		cpt := Concept{Name: nd.Name}
+		for _, he := range c.arts.Net.PrimitivesForEConcept(id) {
+			p, _ := c.arts.Net.Node(he.Peer)
+			cpt.Primitives = append(cpt.Primitives, p.Domain+":"+p.Name)
+		}
+		cpt.ItemCount = len(c.arts.Net.ItemsForEConcept(id, 0))
+		out = append(out, cpt)
+	}
+	return out
+}
+
+// LookupConcept returns one concept by name.
+func (c *CoCo) LookupConcept(name string) (Concept, bool) {
+	id := c.arts.Net.FirstByNameKind(strings.ToLower(name), core.KindEConcept)
+	if id == core.InvalidNode {
+		return Concept{}, false
+	}
+	nd, _ := c.arts.Net.Node(id)
+	cpt := Concept{Name: nd.Name}
+	for _, he := range c.arts.Net.PrimitivesForEConcept(id) {
+		p, _ := c.arts.Net.Node(he.Peer)
+		cpt.Primitives = append(cpt.Primitives, p.Domain+":"+p.Name)
+	}
+	cpt.ItemCount = len(c.arts.Net.ItemsForEConcept(id, 0))
+	return cpt, true
+}
+
+// SampleSessions exposes simulated shopping sessions (viewed item IDs and
+// the latent scenario), useful for recommendation demos.
+func (c *CoCo) SampleSessions(n int) [][]int {
+	log := c.arts.World.ClickLog(n)
+	out := make([][]int, 0, n)
+	for _, s := range log {
+		out = append(out, append([]int(nil), s.Viewed...))
+	}
+	return out
+}
+
+// Hypernyms returns the isA ancestors of a primitive concept surface.
+func (c *CoCo) Hypernyms(name string) []string {
+	id := c.arts.Net.FirstByNameKind(strings.ToLower(name), core.KindPrimitive)
+	if id == core.InvalidNode {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{strings.ToLower(name): true}
+	for _, a := range c.arts.Net.Ancestors(id, 0) {
+		nd, _ := c.arts.Net.Node(a)
+		if (nd.Kind == core.KindPrimitive || nd.Kind == core.KindClass) && !seen[nd.Name] {
+			seen[nd.Name] = true
+			out = append(out, nd.Name)
+		}
+	}
+	return out
+}
+
+// Glosses exposes the knowledge-base gloss of a primitive concept.
+func (c *CoCo) Glosses(name string) []string {
+	var out []string
+	for _, pid := range c.arts.World.BySurface[strings.ToLower(name)] {
+		out = append(out, c.arts.World.Glosses[pid])
+	}
+	return out
+}
+
+// ImpliedRelation is a commonsense relation mined from item statistics
+// (the paper's Section 10 future work): the concept's items concentrate on a
+// primitive far above base rate, e.g. a "keep warm for kids" concept implies
+// Function:warm even when not stated.
+type ImpliedRelation struct {
+	Concept   string
+	Primitive string // "Domain:name"
+	Lift      float64
+	Coverage  float64
+}
+
+// InferImplicitRelations mines implied concept-primitive relations and
+// materializes them into the net as weighted "implied" interpretation edges.
+func (c *CoCo) InferImplicitRelations() ([]ImpliedRelation, error) {
+	m := inference.NewMiner(c.arts.Net, inference.DefaultConfig())
+	rels := m.InferAll()
+	if _, err := m.Materialize(rels); err != nil {
+		return nil, err
+	}
+	out := make([]ImpliedRelation, 0, len(rels))
+	for _, r := range rels {
+		cn, _ := c.arts.Net.Node(r.Concept)
+		pn, _ := c.arts.Net.Node(r.Primitive)
+		out = append(out, ImpliedRelation{
+			Concept:   cn.Name,
+			Primitive: pn.Domain + ":" + pn.Name,
+			Lift:      r.Lift,
+			Coverage:  r.Coverage,
+		})
+	}
+	return out, nil
+}
+
+// Internal exposes the underlying artifacts for the cmd/ and examples/
+// binaries in this module that need lower-level access (experiments,
+// serving). External users should treat CoCo as the API.
+func (c *CoCo) Internal() *pipeline.Artifacts { return c.arts }
+
+// WorldDomains lists the 20 taxonomy domains.
+func WorldDomains() []string { return world.DomainNames() }

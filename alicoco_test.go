@@ -1,0 +1,151 @@
+package alicoco
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *CoCo {
+	t.Helper()
+	c, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildAndStats(t *testing.T) {
+	c := buildSmall(t)
+	s := c.Stats()
+	if s.Primitives == 0 || s.EConcepts == 0 || s.Items == 0 || s.Classes == 0 {
+		t.Fatalf("missing layer: %+v", s)
+	}
+	if len(s.PrimitivesByDomain) != 20 {
+		t.Fatalf("expected 20 domains, got %d", len(s.PrimitivesByDomain))
+	}
+	if !strings.Contains(s.Render(), "E-commerce concepts") {
+		t.Fatal("Render missing content")
+	}
+}
+
+func TestFacadeSearch(t *testing.T) {
+	c := buildSmall(t)
+	res := c.Search("outdoor barbecue", 8)
+	if len(res.Cards) == 0 {
+		t.Fatal("no concept card")
+	}
+	if res.Cards[0].Name != "outdoor barbecue" {
+		t.Fatalf("card: %q", res.Cards[0].Name)
+	}
+	if len(res.Cards[0].Items) == 0 {
+		t.Fatal("card without items")
+	}
+}
+
+func TestFacadeRecommend(t *testing.T) {
+	c := buildSmall(t)
+	sessions := c.SampleSessions(5)
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+	rec, ok := c.Recommend(sessions[0], 5)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	if !strings.HasPrefix(rec.Reason, "for ") {
+		t.Fatalf("reason: %q", rec.Reason)
+	}
+	if len(rec.Card.Items) == 0 {
+		t.Fatal("recommendation without items")
+	}
+}
+
+func TestFacadeConceptLookup(t *testing.T) {
+	c := buildSmall(t)
+	cpt, ok := c.LookupConcept("outdoor barbecue")
+	if !ok {
+		t.Fatal("concept missing")
+	}
+	if cpt.ItemCount == 0 || len(cpt.Primitives) != 2 {
+		t.Fatalf("concept malformed: %+v", cpt)
+	}
+	if _, ok := c.LookupConcept("no such concept"); ok {
+		t.Fatal("phantom concept")
+	}
+}
+
+func TestFacadeHypernymsAndGlosses(t *testing.T) {
+	c := buildSmall(t)
+	h := c.Hypernyms("coat")
+	if len(h) == 0 {
+		t.Fatal("coat should have hypernyms")
+	}
+	foundClothing := false
+	for _, x := range h {
+		if x == "clothing" {
+			foundClothing = true
+		}
+	}
+	if !foundClothing {
+		t.Fatalf("coat ancestors should include clothing: %v", h)
+	}
+	g := c.Glosses("barbecue")
+	if len(g) == 0 || !strings.Contains(g[0], "grill") {
+		t.Fatalf("barbecue gloss should mention grill: %v", g)
+	}
+}
+
+func TestFacadeItems(t *testing.T) {
+	c := buildSmall(t)
+	items := c.Items()
+	if len(items) == 0 {
+		t.Fatal("no items")
+	}
+	if items[0].Title == "" || items[0].Category == "" {
+		t.Fatalf("item malformed: %+v", items[0])
+	}
+}
+
+func TestFacadeConceptsList(t *testing.T) {
+	c := buildSmall(t)
+	cs := c.Concepts()
+	if len(cs) == 0 {
+		t.Fatal("no concepts")
+	}
+}
+
+func TestSaveSnapshot(t *testing.T) {
+	c := buildSmall(t)
+	path := filepath.Join(t.TempDir(), "net.coco")
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatal("snapshot not written")
+	}
+}
+
+func TestWorldDomains(t *testing.T) {
+	if len(WorldDomains()) != 20 {
+		t.Fatal("paper defines 20 domains")
+	}
+}
+
+func TestInferImplicitRelations(t *testing.T) {
+	c := buildSmall(t)
+	rels, err := c.InferImplicitRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) == 0 {
+		t.Fatal("no implied relations")
+	}
+	for _, r := range rels {
+		if r.Concept == "" || !strings.Contains(r.Primitive, ":") || r.Lift < 1 {
+			t.Fatalf("malformed relation: %+v", r)
+		}
+	}
+}

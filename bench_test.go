@@ -1,0 +1,361 @@
+// Benchmarks: one testing.B per table and figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index). Each bench executes the same
+// code path as `cmd/experiments` at reduced scale, so `go test -bench=.`
+// regenerates the shape of every reported result. Full-scale numbers are
+// produced by `go run alicoco/cmd/experiments` and recorded in
+// EXPERIMENTS.md.
+package alicoco
+
+import (
+	"sync"
+	"testing"
+
+	"alicoco/internal/apps/recommend"
+	"alicoco/internal/apps/search"
+	"alicoco/internal/conceptgen"
+	"alicoco/internal/core"
+	"alicoco/internal/hypernym"
+	"alicoco/internal/mat"
+	"alicoco/internal/matching"
+	"alicoco/internal/pipeline"
+	"alicoco/internal/tagging"
+	"alicoco/internal/text"
+	"alicoco/internal/world"
+)
+
+// benchArts is the shared tiny testbed, built once.
+var (
+	benchOnce sync.Once
+	benchA    *pipeline.Artifacts
+)
+
+func benchArtifacts(b *testing.B) *pipeline.Artifacts {
+	b.Helper()
+	benchOnce.Do(func() {
+		opts := pipeline.TinyOptions()
+		opts.W2V.Dim = 32
+		opts.W2V.Epochs = 6
+		opts.Queries, opts.Reviews, opts.Guides = 800, 800, 800
+		a, err := pipeline.Build(opts)
+		if err != nil {
+			panic(err)
+		}
+		benchA = a
+	})
+	return benchA
+}
+
+func benchEmbed(a *pipeline.Artifacts) func([]string) mat.Vec {
+	return func(tokens []string) mat.Vec {
+		vs := a.W2V.EmbedSeq(tokens)
+		out := mat.NewVec(a.W2V.Dim)
+		for _, v := range vs {
+			out.Add(v)
+		}
+		if len(vs) > 0 {
+			out.Scale(1 / float64(len(vs)))
+		}
+		return out
+	}
+}
+
+// BenchmarkTable2BuildNet measures the full four-layer construction (E1).
+func BenchmarkTable2BuildNet(b *testing.B) {
+	opts := pipeline.TinyOptions()
+	for i := 0; i < b.N; i++ {
+		a, err := pipeline.Build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := a.Net.ComputeStats()
+		if s.PerKind["econcept"] == 0 {
+			b.Fatal("empty net")
+		}
+	}
+}
+
+// BenchmarkFig9LeftNegativeRatio measures one point of the negative-ratio
+// sweep: train the projection model at N=60 and evaluate MAP (E2).
+func BenchmarkFig9LeftNegativeRatio(b *testing.B) {
+	a := benchArtifacts(b)
+	d := hypernym.BuildDataset(a.World, benchEmbed(a), 5)
+	pos := d.TrainPos
+	if len(pos) > 120 {
+		pos = pos[:120]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train := d.TrainSet(pos, 60, 7)
+		model := hypernym.NewProjection(a.W2V.Dim, 4, 9)
+		model.Fit(train, 3, 0.01, 32, 13)
+		ev := d.Evaluate(model, d.TestPos, 0, 1)
+		if ev.MAP < 0 {
+			b.Fatal("bad MAP")
+		}
+	}
+}
+
+// BenchmarkFig9RightStrategies runs one UCS active-learning loop (E3).
+func BenchmarkFig9RightStrategies(b *testing.B) {
+	a := benchArtifacts(b)
+	d := hypernym.BuildDataset(a.World, benchEmbed(a), 5)
+	pos := d.TrainPos
+	if len(pos) > 120 {
+		pos = pos[:120]
+	}
+	pool := append(d.TrainSet(pos, 4, 21), d.HardNegatives(pos, 2, 22)...)
+	cfg := hypernym.DefaultALConfig(a.W2V.Dim)
+	cfg.K = len(pool) / 8
+	cfg.MaxIters = 3
+	cfg.Epochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hypernym.RunActiveLearning(d, pool, d.TestPos, cfg, hypernym.UCS)
+		if res.LabeledUsed == 0 {
+			b.Fatal("no labels used")
+		}
+	}
+}
+
+// BenchmarkTable3ActiveLearning compares UCS against Random end-to-end (E4).
+func BenchmarkTable3ActiveLearning(b *testing.B) {
+	a := benchArtifacts(b)
+	d := hypernym.BuildDataset(a.World, benchEmbed(a), 5)
+	pos := d.TrainPos
+	if len(pos) > 120 {
+		pos = pos[:120]
+	}
+	pool := append(d.TrainSet(pos, 4, 21), d.HardNegatives(pos, 2, 22)...)
+	cfg := hypernym.DefaultALConfig(a.W2V.Dim)
+	cfg.K = len(pool) / 8
+	cfg.MaxIters = 3
+	cfg.Epochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, strat := range []hypernym.Strategy{hypernym.Random, hypernym.UCS} {
+			hypernym.RunActiveLearning(d, pool, d.TestPos, cfg, strat)
+		}
+	}
+}
+
+// BenchmarkTable4Classification trains and evaluates the full
+// knowledge-enhanced concept classifier (E5).
+func BenchmarkTable4Classification(b *testing.B) {
+	a := benchArtifacts(b)
+	w := a.World
+	domainIdx := make(map[world.Domain]int)
+	for i, d := range world.Domains {
+		domainIdx[d] = i + 1
+	}
+	cands := w.ConceptCandidates(400)
+	cfg := conceptgen.DefaultConfig()
+	cfg.Epochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz := &conceptgen.Featurizer{
+			CharVocab: text.NewVocab(),
+			WordVocab: text.NewVocab(),
+			POS:       a.POS,
+			LM:        a.LM,
+			GlossDim:  cfg.GlossDim,
+			UseLM:     true,
+			DomainOf: func(word string) int {
+				ids := w.BySurface[word]
+				if len(ids) == 0 {
+					return 0
+				}
+				return domainIdx[w.Prim(ids[0]).Domain]
+			},
+			GlossVec: func(word string) mat.Vec {
+				ids := w.BySurface[word]
+				if len(ids) == 0 {
+					return mat.NewVec(cfg.GlossDim)
+				}
+				v := a.Glossary.Vec(ids[0])
+				out := mat.NewVec(cfg.GlossDim)
+				copy(out, v)
+				return out
+			},
+		}
+		var samples []conceptgen.Sample
+		for _, cand := range cands {
+			samples = append(samples, conceptgen.Sample{Feat: fz.Featurize(cand.Tokens), Label: cand.Good})
+		}
+		fz.CharVocab.Freeze()
+		fz.WordVocab.Freeze()
+		cls := conceptgen.NewClassifier(cfg, fz.CharVocab.Len(), fz.WordVocab.Len())
+		split := len(samples) * 8 / 10
+		cls.Train(samples[:split])
+		prec, _ := cls.EvaluatePrecision(samples[split:])
+		if prec < 0 {
+			b.Fatal("bad precision")
+		}
+	}
+}
+
+// BenchmarkTable5Tagging trains and evaluates the fuzzy-CRF tagger (E6).
+func BenchmarkTable5Tagging(b *testing.B) {
+	a := benchArtifacts(b)
+	train, test := tagging.BuildDataset(a.World, 120, 60, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := tagging.DefaultConfig()
+		cfg.UseKnowledge = false
+		cfg.Epochs = 2
+		tg := tagging.NewTagger(world.DomainNames(), a.POS, nil, cfg)
+		tg.Train(train)
+		_, _, f1 := tagging.Evaluate(tg, test)
+		if f1 < 0 {
+			b.Fatal("bad F1")
+		}
+	}
+}
+
+// BenchmarkTable6Matching trains and evaluates the knowledge-aware matcher
+// against BM25 (E7).
+func BenchmarkTable6Matching(b *testing.B) {
+	a := benchArtifacts(b)
+	pairs := matching.BuildPairs(a.World, 300, 300)
+	train, test := matching.SplitPairs(pairs, 0.8, 9)
+	knowledge := matching.KnowledgeFn(a.World, a.Glossary)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := matching.DefaultTrainConfig()
+		tc.Epochs = 2
+		m := matching.NewKADSM(a.W2V.Vec, knowledge, a.W2V.Dim, tc)
+		m.Train(train)
+		res := matching.Evaluate(m, test)
+		bm := matching.BM25Squashed{BM25: matching.NewBM25()}
+		bm.Train(train)
+		resB := matching.Evaluate(bm, test)
+		if res.AUC <= 0 || resB.AUC <= 0 {
+			b.Fatal("bad AUC")
+		}
+	}
+}
+
+// BenchmarkCoverage measures one day's coverage sample, both engines (E8).
+func BenchmarkCoverage(b *testing.B) {
+	a := benchArtifacts(b)
+	full := search.NewEngine(a.Net, a.World.Stopwords())
+	cpv := search.NewCPVEngine(a.Net, a.World.Stopwords())
+	qs := a.World.QuerySet(500)
+	queries := make([][]string, len(qs))
+	for i, q := range qs {
+		queries[i] = q.Tokens
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf := search.MeasureCoverage(full, queries)
+		cc := search.MeasureCoverage(cpv, queries)
+		if cf.Rate() <= cc.Rate() {
+			b.Fatal("coverage inversion")
+		}
+	}
+}
+
+// BenchmarkSearchRelevance measures the isA-expansion relevance experiment (E9).
+func BenchmarkSearchRelevance(b *testing.B) {
+	a := benchArtifacts(b)
+	cases := search.BuildRelevanceCases(a.Net, 300, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain := search.EvalRelevance(a.Net, cases, false)
+		expanded := search.EvalRelevance(a.Net, cases, true)
+		if expanded.AUC < plain.AUC {
+			b.Fatal("expansion should not hurt")
+		}
+	}
+}
+
+// BenchmarkRecommend measures the concept-card recommender replay (E10).
+func BenchmarkRecommend(b *testing.B) {
+	a := benchArtifacts(b)
+	raw := a.World.ClickLog(120)
+	var history [][]core.NodeID
+	var sessions [][2][]core.NodeID
+	for i, s := range raw {
+		var viewed, clicked []core.NodeID
+		for _, id := range s.Viewed {
+			viewed = append(viewed, a.ItemNode[id])
+		}
+		for _, id := range s.Clicked {
+			clicked = append(clicked, a.ItemNode[id])
+		}
+		if i < 80 {
+			history = append(history, append(append([]core.NodeID{}, viewed...), clicked...))
+		} else {
+			sessions = append(sessions, [2][]core.NodeID{viewed, clicked})
+		}
+	}
+	engine := recommend.NewEngine(a.Net)
+	conceptRec := func(viewed []core.NodeID, k int) []core.NodeID {
+		rec, ok := engine.Recommend(viewed, k)
+		if !ok {
+			return nil
+		}
+		return rec.Items
+	}
+	cf := recommend.NewItemCF(history)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1 := recommend.Replay(a.Net, conceptRec, sessions, 10)
+		r2 := recommend.Replay(a.Net, cf.Recommend, sessions, 10)
+		if r1.HitRate < 0 || r2.HitRate < 0 {
+			b.Fatal("bad replay")
+		}
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md §4 calls out ---
+
+// BenchmarkAblationFuzzyVsPlainCRF compares the two CRF losses directly.
+func BenchmarkAblationFuzzyVsPlainCRF(b *testing.B) {
+	a := benchArtifacts(b)
+	train, test := tagging.BuildDataset(a.World, 120, 60, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fuzzy := range []bool{false, true} {
+			cfg := tagging.DefaultConfig()
+			cfg.UseFuzzy = fuzzy
+			cfg.UseKnowledge = false
+			cfg.Epochs = 2
+			tg := tagging.NewTagger(world.DomainNames(), a.POS, nil, cfg)
+			tg.Train(train)
+			tagging.Evaluate(tg, test)
+		}
+	}
+}
+
+// BenchmarkAblationKnowledgeInMatching compares KADSM with and without the
+// gloss knowledge sequence.
+func BenchmarkAblationKnowledgeInMatching(b *testing.B) {
+	a := benchArtifacts(b)
+	pairs := matching.BuildPairs(a.World, 200, 200)
+	train, test := matching.SplitPairs(pairs, 0.8, 9)
+	knowledge := matching.KnowledgeFn(a.World, a.Glossary)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kn := range []func([]string) []mat.Vec{nil, knowledge} {
+			tc := matching.DefaultTrainConfig()
+			tc.Epochs = 2
+			m := matching.NewKADSM(a.W2V.Vec, kn, a.W2V.Dim, tc)
+			m.Train(train)
+			matching.Evaluate(m, test)
+		}
+	}
+}
+
+// BenchmarkNetQueries measures raw store throughput: name lookup, concept
+// card assembly, ancestor traversal.
+func BenchmarkNetQueries(b *testing.B) {
+	a := benchArtifacts(b)
+	concept := a.Net.FirstByNameKind("outdoor barbecue", core.KindEConcept)
+	coat := a.Net.FirstByNameKind("coat", core.KindPrimitive)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Net.FindByName("grill")
+		a.Net.ItemsForEConcept(concept, 10)
+		a.Net.Ancestors(coat, 0)
+	}
+}

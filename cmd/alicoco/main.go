@@ -1,0 +1,60 @@
+// Command alicoco builds the e-commerce cognitive concept net end-to-end
+// from the synthetic testbed, prints Table-2-style statistics, and
+// optionally saves a binary snapshot.
+//
+// Usage:
+//
+//	alicoco [-scale small|default] [-out net.coco] [-query "outdoor barbecue"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"alicoco"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "build scale: small or default")
+	out := flag.String("out", "", "path to save a binary snapshot of the net")
+	query := flag.String("query", "", "optionally run one search query against the built net")
+	flag.Parse()
+
+	opts := alicoco.Default()
+	if *scale == "small" {
+		opts = alicoco.Small()
+	}
+	log.Printf("building AliCoCo (scale=%s)...", *scale)
+	coco, err := alicoco.Build(opts)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	fmt.Println(coco.Stats().Render())
+
+	if *out != "" {
+		if err := coco.SaveSnapshot(*out); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		log.Printf("snapshot written to %s", *out)
+	}
+
+	if *query != "" {
+		res := coco.Search(*query, 8)
+		fmt.Printf("\nquery: %q\n", *query)
+		for _, card := range res.Cards {
+			fmt.Printf("  concept card: %s\n", card.Name)
+			for _, it := range card.Items {
+				fmt.Printf("    - %s\n", it.Title)
+			}
+		}
+		if len(res.Cards) == 0 {
+			for i, it := range res.Items {
+				if i >= 8 {
+					break
+				}
+				fmt.Printf("  item: %s\n", it.Title)
+			}
+		}
+	}
+}

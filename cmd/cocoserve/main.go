@@ -1,0 +1,117 @@
+// Command cocoserve serves the concept net over HTTP, mirroring the
+// production surfaces of Figure 2: semantic search with concept cards,
+// concept lookup, and cognitive recommendation.
+//
+// Endpoints:
+//
+//	GET /stats
+//	GET /search?q=outdoor+barbecue
+//	GET /concept?name=outdoor+barbecue
+//	GET /recommend?items=1,2,3&k=10
+//	GET /hypernyms?name=coat
+//
+// Usage: cocoserve [-addr :8080] [-scale small|default]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"alicoco"
+)
+
+type server struct {
+	coco *alicoco.CoCo
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.coco.Stats())
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	s.writeJSON(w, s.coco.Search(q, 12))
+}
+
+func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	cpt, ok := s.coco.LookupConcept(name)
+	if !ok {
+		http.Error(w, "concept not found", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, cpt)
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var ids []int
+	for _, part := range strings.Split(r.URL.Query().Get("items"), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			http.Error(w, "bad items parameter", http.StatusBadRequest)
+			return
+		}
+		ids = append(ids, id)
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if v, err := strconv.Atoi(ks); err == nil && v > 0 {
+			k = v
+		}
+	}
+	rec, ok := s.coco.Recommend(ids, k)
+	if !ok {
+		http.Error(w, "no recommendation for these items", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, rec)
+}
+
+func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	s.writeJSON(w, map[string]any{"name": name, "hypernyms": s.coco.Hypernyms(name)})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "small", "build scale: small or default")
+	flag.Parse()
+
+	opts := alicoco.Small()
+	if *scale == "default" {
+		opts = alicoco.Default()
+	}
+	log.Printf("building net (scale=%s)...", *scale)
+	coco, err := alicoco.Build(opts)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	s := &server{coco: coco}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/concept", s.handleConcept)
+	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/hypernyms", s.handleHypernyms)
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,271 @@
+// Package recommend implements cognitive recommendation (Section 8.2):
+// concept cards inferred from a user's viewed items, recommendation reasons
+// (the concept name), and the item-CF baseline it is compared against.
+package recommend
+
+import (
+	"sort"
+
+	"alicoco/internal/core"
+)
+
+// Recommendation is a Figure 2(b/c) card: a concept, the reason string shown
+// to the user, and the recommended items.
+type Recommendation struct {
+	Concept core.NodeID
+	Reason  string
+	Items   []core.NodeID
+}
+
+// Engine recommends via the concept net.
+type Engine struct {
+	net *core.Net
+}
+
+// NewEngine wraps a net.
+func NewEngine(net *core.Net) *Engine { return &Engine{net: net} }
+
+// Recommend infers the user's latent shopping scenario from viewed items
+// (each viewed item votes for the e-commerce concepts it serves), then
+// recommends unseen items of the winning concept. The concept name is the
+// recommendation reason (Section 8.2.2).
+func (e *Engine) Recommend(viewed []core.NodeID, k int) (Recommendation, bool) {
+	return e.RecommendRanked(viewed, k, nil)
+}
+
+// RecommendRanked is Recommend with an item-scoring model applied inside the
+// concept's candidate set — the paper's production split of concept recall
+// followed by ranking ("recommends items with highest weights after scoring
+// with a ranking model", Section 1). score may be nil (edge-weight order).
+func (e *Engine) RecommendRanked(viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) (Recommendation, bool) {
+	votes := make(map[core.NodeID]float64)
+	for _, item := range viewed {
+		for _, he := range e.net.EConceptsForItem(item, 0) {
+			votes[he.Peer] += he.Weight
+		}
+	}
+	if len(votes) == 0 {
+		return Recommendation{}, false
+	}
+	type scored struct {
+		id core.NodeID
+		v  float64
+	}
+	ranked := make([]scored, 0, len(votes))
+	for id, v := range votes {
+		ranked = append(ranked, scored{id, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].v != ranked[j].v {
+			return ranked[i].v > ranked[j].v
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	best := ranked[0].id
+	nd, _ := e.net.Node(best)
+	rec := Recommendation{Concept: best, Reason: "for " + nd.Name}
+	seen := make(map[core.NodeID]bool, len(viewed))
+	for _, v := range viewed {
+		seen[v] = true
+	}
+	candidates := e.net.ItemsForEConcept(best, 0)
+	if score != nil {
+		type cand struct {
+			id core.NodeID
+			s  float64
+		}
+		cs := make([]cand, 0, len(candidates))
+		for _, he := range candidates {
+			if seen[he.Peer] {
+				continue
+			}
+			cs = append(cs, cand{he.Peer, score(viewed, he.Peer)})
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].s != cs[j].s {
+				return cs[i].s > cs[j].s
+			}
+			return cs[i].id < cs[j].id
+		})
+		for _, c := range cs {
+			rec.Items = append(rec.Items, c.id)
+			if len(rec.Items) >= k {
+				break
+			}
+		}
+		return rec, len(rec.Items) > 0
+	}
+	for _, he := range candidates {
+		if seen[he.Peer] {
+			continue
+		}
+		rec.Items = append(rec.Items, he.Peer)
+		if len(rec.Items) >= k {
+			break
+		}
+	}
+	return rec, len(rec.Items) > 0
+}
+
+// CoViewScore builds a ranking function from co-view statistics, for use
+// with RecommendRanked.
+func CoViewScore(cf *ItemCF) func(viewed []core.NodeID, item core.NodeID) float64 {
+	return func(viewed []core.NodeID, item core.NodeID) float64 {
+		var s float64
+		for _, v := range viewed {
+			s += cf.co[v][item]
+		}
+		return s
+	}
+}
+
+// ItemCF is the item-based collaborative filtering baseline of Section 1:
+// recommendations are the items most co-viewed with the trigger items.
+type ItemCF struct {
+	co map[core.NodeID]map[core.NodeID]float64
+}
+
+// NewItemCF builds the co-occurrence model from historical sessions (each a
+// set of item nodes seen together).
+func NewItemCF(sessions [][]core.NodeID) *ItemCF {
+	cf := &ItemCF{co: make(map[core.NodeID]map[core.NodeID]float64)}
+	for _, s := range sessions {
+		for i, a := range s {
+			for j, b := range s {
+				if i == j {
+					continue
+				}
+				if cf.co[a] == nil {
+					cf.co[a] = make(map[core.NodeID]float64)
+				}
+				cf.co[a][b]++
+			}
+		}
+	}
+	return cf
+}
+
+// Recommend returns the k items most co-viewed with the trigger set.
+func (cf *ItemCF) Recommend(viewed []core.NodeID, k int) []core.NodeID {
+	scores := make(map[core.NodeID]float64)
+	seen := make(map[core.NodeID]bool, len(viewed))
+	for _, v := range viewed {
+		seen[v] = true
+	}
+	for _, v := range viewed {
+		for peer, c := range cf.co[v] {
+			if !seen[peer] {
+				scores[peer] += c
+			}
+		}
+	}
+	type scored struct {
+		id core.NodeID
+		v  float64
+	}
+	ranked := make([]scored, 0, len(scores))
+	for id, v := range scores {
+		ranked = append(ranked, scored{id, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].v != ranked[j].v {
+			return ranked[i].v > ranked[j].v
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	out := make([]core.NodeID, 0, k)
+	for _, s := range ranked {
+		out = append(out, s.id)
+		if len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// EvalResult is the offline replay outcome (Section 8.2.1): hit rate on
+// held-out clicks (the CTR proxy) and novelty (recommended items outside the
+// viewed items' categories).
+type EvalResult struct {
+	HitRate float64
+	Novelty float64
+	Covered float64 // fraction of sessions with any recommendation
+}
+
+// Recommender is anything mapping viewed items to recommendations.
+type Recommender func(viewed []core.NodeID, k int) []core.NodeID
+
+// Replay evaluates a recommender on test sessions: for each session the
+// recommender sees the viewed items and is scored on whether it retrieves
+// the held-out clicked items.
+func Replay(net *core.Net, rec Recommender, sessions [][2][]core.NodeID, k int) EvalResult {
+	var res EvalResult
+	nSessions := 0
+	for _, s := range sessions {
+		viewed, clicked := s[0], s[1]
+		if len(viewed) == 0 || len(clicked) == 0 {
+			continue
+		}
+		nSessions++
+		items := rec(viewed, k)
+		if len(items) == 0 {
+			continue
+		}
+		res.Covered++
+		clickSet := make(map[core.NodeID]bool, len(clicked))
+		for _, c := range clicked {
+			clickSet[c] = true
+		}
+		hits := 0
+		for _, it := range items {
+			if clickSet[it] {
+				hits++
+			}
+		}
+		denom := len(clicked)
+		if k < denom {
+			denom = k
+		}
+		res.HitRate += float64(hits) / float64(denom)
+		res.Novelty += noveltyOf(net, viewed, items)
+	}
+	if res.Covered > 0 {
+		res.HitRate /= res.Covered
+		res.Novelty /= res.Covered
+	}
+	if nSessions > 0 {
+		res.Covered /= float64(nSessions)
+	}
+	return res
+}
+
+// noveltyOf returns the fraction of recommended items whose category
+// primitive differs from every viewed item's category.
+func noveltyOf(net *core.Net, viewed, recommended []core.NodeID) float64 {
+	viewedCats := make(map[core.NodeID]bool)
+	for _, v := range viewed {
+		for _, he := range net.Out(v, core.EdgeItemPrimitive) {
+			nd, _ := net.Node(he.Peer)
+			if nd.Domain == "Category" {
+				viewedCats[he.Peer] = true
+			}
+		}
+	}
+	if len(recommended) == 0 {
+		return 0
+	}
+	novel := 0
+	for _, r := range recommended {
+		isNovel := true
+		for _, he := range net.Out(r, core.EdgeItemPrimitive) {
+			if viewedCats[he.Peer] {
+				isNovel = false
+				break
+			}
+		}
+		if isNovel {
+			novel++
+		}
+	}
+	return float64(novel) / float64(len(recommended))
+}

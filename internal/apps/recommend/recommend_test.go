@@ -1,0 +1,111 @@
+package recommend
+
+import (
+	"testing"
+
+	"alicoco/internal/core"
+	"alicoco/internal/pipeline"
+)
+
+type fixture struct {
+	arts     *pipeline.Artifacts
+	sessions [][2][]core.NodeID // (viewed, clicked) in node ids
+	history  [][]core.NodeID    // co-view training sessions
+}
+
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	arts, err := pipeline.Build(pipeline.TinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := arts.World.ClickLog(120)
+	f := &fixture{arts: arts}
+	for i, s := range raw {
+		var viewed, clicked []core.NodeID
+		for _, id := range s.Viewed {
+			viewed = append(viewed, arts.ItemNode[id])
+		}
+		for _, id := range s.Clicked {
+			clicked = append(clicked, arts.ItemNode[id])
+		}
+		if i < 80 { // history for item-CF training
+			f.history = append(f.history, append(append([]core.NodeID{}, viewed...), clicked...))
+		} else {
+			f.sessions = append(f.sessions, [2][]core.NodeID{viewed, clicked})
+		}
+	}
+	return f
+}
+
+func TestRecommendInfersScenario(t *testing.T) {
+	f := buildFixture(t)
+	e := NewEngine(f.arts.Net)
+	viewed, _ := f.sessions[0][0], f.sessions[0][1]
+	rec, ok := e.Recommend(viewed, 5)
+	if !ok {
+		t.Fatal("no recommendation for a scenario session")
+	}
+	if rec.Reason == "" || rec.Reason == "for " {
+		t.Fatalf("empty reason: %q", rec.Reason)
+	}
+	for _, it := range rec.Items {
+		for _, v := range viewed {
+			if it == v {
+				t.Fatal("recommended an already viewed item")
+			}
+		}
+	}
+}
+
+func TestConceptRecommenderBeatsItemCFOnHitRate(t *testing.T) {
+	f := buildFixture(t)
+	e := NewEngine(f.arts.Net)
+	conceptRec := func(viewed []core.NodeID, k int) []core.NodeID {
+		rec, ok := e.Recommend(viewed, k)
+		if !ok {
+			return nil
+		}
+		return rec.Items
+	}
+	cf := NewItemCF(f.history)
+	k := 10
+	resConcept := Replay(f.arts.Net, conceptRec, f.sessions, k)
+	resCF := Replay(f.arts.Net, cf.Recommend, f.sessions, k)
+	t.Logf("concept: %+v, itemCF: %+v", resConcept, resCF)
+	if resConcept.HitRate <= resCF.HitRate {
+		t.Fatalf("concept recommender (%.3f) should beat item-CF (%.3f) on scenario sessions", resConcept.HitRate, resCF.HitRate)
+	}
+	// Note: novelty parity is expected here because the item-CF baseline is
+	// trained on the same scenario-structured sessions, so its co-view
+	// matrix also crosses categories. The paper's novelty claim comes from
+	// a user survey, not replay. We only require meaningful novelty.
+	if resConcept.Novelty < 0.3 {
+		t.Fatalf("concept recommender should cross categories: novelty %.3f", resConcept.Novelty)
+	}
+}
+
+func TestItemCFRecommendsCoViewed(t *testing.T) {
+	sessions := [][]core.NodeID{{1, 2, 3}, {1, 2}, {2, 3}}
+	cf := NewItemCF(sessions)
+	rec := cf.Recommend([]core.NodeID{1}, 2)
+	if len(rec) == 0 || rec[0] != 2 {
+		t.Fatalf("most co-viewed item should rank first: %v", rec)
+	}
+}
+
+func TestRecommendEmptyViewed(t *testing.T) {
+	f := buildFixture(t)
+	e := NewEngine(f.arts.Net)
+	if _, ok := e.Recommend(nil, 5); ok {
+		t.Fatal("empty view history should not recommend")
+	}
+}
+
+func TestReplayEmptySessions(t *testing.T) {
+	f := buildFixture(t)
+	res := Replay(f.arts.Net, func([]core.NodeID, int) []core.NodeID { return nil }, nil, 5)
+	if res.HitRate != 0 || res.Covered != 0 {
+		t.Fatalf("empty replay should be zero: %+v", res)
+	}
+}

@@ -1,0 +1,174 @@
+// Package search implements the Section 8.1 applications on top of the
+// concept net: semantic search with concept cards (Figure 2a), coverage
+// measurement against a CPV-only ontology (Section 7.1), and isA-expanded
+// relevance (Section 8.1.1).
+package search
+
+import (
+	"sort"
+	"strings"
+
+	"alicoco/internal/core"
+	"alicoco/internal/text"
+)
+
+// ConceptCard is the Figure 2 card: a concept with its associated items.
+type ConceptCard struct {
+	Concept core.NodeID
+	Name    string
+	Items   []core.NodeID
+}
+
+// Response is a search result: zero or more concept cards plus plain item
+// hits.
+type Response struct {
+	Cards []ConceptCard
+	Items []core.NodeID
+}
+
+// Engine answers queries against a net.
+type Engine struct {
+	net       *core.Net
+	seg       *text.Segmenter
+	stopwords map[string]bool
+}
+
+// NewEngine indexes the net's primitive and e-commerce concept surfaces.
+func NewEngine(net *core.Net, stopwords []string) *Engine {
+	e := &Engine{net: net, seg: text.NewSegmenter(), stopwords: make(map[string]bool)}
+	for _, w := range stopwords {
+		e.stopwords[w] = true
+	}
+	for _, id := range net.NodesOfKind(core.KindPrimitive) {
+		nd, _ := net.Node(id)
+		e.seg.AddPhrase(strings.Fields(nd.Name), "prim")
+	}
+	for _, id := range net.NodesOfKind(core.KindEConcept) {
+		nd, _ := net.Node(id)
+		e.seg.AddPhrase(strings.Fields(nd.Name), "ecpt")
+	}
+	return e
+}
+
+// Search resolves a query to concept cards and items: an exact e-commerce
+// concept match triggers its card (the "baking" flow of Figure 2a);
+// otherwise matched primitives vote for the concepts they interpret.
+func (e *Engine) Search(query string, maxItems int) Response {
+	tokens := text.Tokenize(query)
+	var resp Response
+
+	// 1. Exact e-commerce concept match.
+	if ids := e.net.FindByNameKind(strings.Join(tokens, " "), core.KindEConcept); len(ids) > 0 {
+		resp.Cards = append(resp.Cards, e.card(ids[0], maxItems))
+		return resp
+	}
+
+	// 2. Primitive-concept voting: concepts interpreted by the most
+	// matched primitives win.
+	matched := e.matchPrimitives(tokens)
+	votes := make(map[core.NodeID]int)
+	for _, prim := range matched {
+		for _, he := range e.net.In(prim, core.EdgeInterpretedBy) {
+			votes[he.Peer]++
+		}
+	}
+	type scored struct {
+		id    core.NodeID
+		votes int
+	}
+	var ranked []scored
+	for id, v := range votes {
+		ranked = append(ranked, scored{id, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].votes != ranked[j].votes {
+			return ranked[i].votes > ranked[j].votes
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	for i := 0; i < len(ranked) && i < 3; i++ {
+		if ranked[i].votes*2 >= len(matched) { // at least half the query matched
+			resp.Cards = append(resp.Cards, e.card(ranked[i].id, maxItems))
+		}
+	}
+
+	// 3. Plain item hits from matched primitives (CPV-style retrieval).
+	seen := make(map[core.NodeID]bool)
+	for _, prim := range matched {
+		for _, he := range e.net.In(prim, core.EdgeItemPrimitive) {
+			if !seen[he.Peer] {
+				seen[he.Peer] = true
+				resp.Items = append(resp.Items, he.Peer)
+			}
+			if len(resp.Items) >= maxItems {
+				break
+			}
+		}
+	}
+	sort.Slice(resp.Items, func(i, j int) bool { return resp.Items[i] < resp.Items[j] })
+	return resp
+}
+
+func (e *Engine) card(concept core.NodeID, maxItems int) ConceptCard {
+	nd, _ := e.net.Node(concept)
+	card := ConceptCard{Concept: concept, Name: nd.Name}
+	for _, he := range e.net.ItemsForEConcept(concept, maxItems) {
+		card.Items = append(card.Items, he.Peer)
+	}
+	return card
+}
+
+// matchPrimitives max-matches the query against primitive surfaces.
+func (e *Engine) matchPrimitives(tokens []string) []core.NodeID {
+	var out []core.NodeID
+	for _, seg := range e.seg.MaxMatch(tokens) {
+		if len(seg.Labels) == 0 {
+			continue
+		}
+		surface := strings.Join(tokens[seg.Start:seg.End], " ")
+		for _, id := range e.net.FindByNameKind(surface, core.KindPrimitive) {
+			out = append(out, id)
+			break // first reading is enough for retrieval
+		}
+	}
+	return out
+}
+
+// Covered reports whether every non-stopword token of the query is part of
+// some known concept surface — the Section 7.1 coverage criterion.
+func (e *Engine) Covered(tokens []string) bool {
+	segs := e.seg.MaxMatch(tokens)
+	for _, seg := range segs {
+		if len(seg.Labels) > 0 {
+			continue
+		}
+		for i := seg.Start; i < seg.End; i++ {
+			if !e.stopwords[tokens[i]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NewCPVEngine builds the Section 7.1 baseline: an engine that only knows
+// CPV vocabulary (categories, brands and property values) — no e-commerce
+// concepts, no general-purpose domains.
+func NewCPVEngine(net *core.Net, stopwords []string) *Engine {
+	cpvDomains := map[string]bool{
+		"Category": true, "Brand": true, "Color": true, "Material": true,
+		"Design": true, "Function": true, "Pattern": true, "Shape": true,
+		"Smell": true, "Taste": true, "Style": true, "Quantity": true,
+	}
+	e := &Engine{net: net, seg: text.NewSegmenter(), stopwords: make(map[string]bool)}
+	for _, w := range stopwords {
+		e.stopwords[w] = true
+	}
+	for _, id := range net.NodesOfKind(core.KindPrimitive) {
+		nd, _ := net.Node(id)
+		if cpvDomains[nd.Domain] {
+			e.seg.AddPhrase(strings.Fields(nd.Name), "prim")
+		}
+	}
+	return e
+}

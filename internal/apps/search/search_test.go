@@ -1,0 +1,127 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"alicoco/internal/core"
+	"alicoco/internal/pipeline"
+)
+
+func buildArts(t *testing.T) *pipeline.Artifacts {
+	t.Helper()
+	a, err := pipeline.Build(pipeline.TinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSearchExactConceptCard(t *testing.T) {
+	a := buildArts(t)
+	e := NewEngine(a.Net, a.World.Stopwords())
+	resp := e.Search("outdoor barbecue", 10)
+	if len(resp.Cards) == 0 {
+		t.Fatal("no card for exact concept query")
+	}
+	card := resp.Cards[0]
+	if card.Name != "outdoor barbecue" {
+		t.Fatalf("card name: %q", card.Name)
+	}
+	if len(card.Items) == 0 {
+		t.Fatal("card has no items")
+	}
+	// Card items should include a grill.
+	foundGrill := false
+	for _, it := range card.Items {
+		nd, _ := a.Net.Node(it)
+		if strings.HasSuffix(nd.Name, "grill") {
+			foundGrill = true
+		}
+	}
+	if !foundGrill {
+		t.Fatal("outdoor barbecue card should surface a grill")
+	}
+}
+
+func TestSearchPrimitiveVoting(t *testing.T) {
+	a := buildArts(t)
+	e := NewEngine(a.Net, a.World.Stopwords())
+	// "barbecue outdoor" is not an exact concept name; primitive voting
+	// should still surface the outdoor barbecue card (the intro's
+	// "barbecue outdoor" example).
+	resp := e.Search("barbecue outdoor", 10)
+	found := false
+	for _, c := range resp.Cards {
+		if c.Name == "outdoor barbecue" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("voting failed to surface the concept: %+v", resp.Cards)
+	}
+}
+
+func TestSearchPlainCategory(t *testing.T) {
+	a := buildArts(t)
+	e := NewEngine(a.Net, a.World.Stopwords())
+	resp := e.Search("grill", 5)
+	if len(resp.Items) == 0 {
+		t.Fatal("category query should return items")
+	}
+	for _, it := range resp.Items {
+		nd, _ := a.Net.Node(it)
+		if nd.Kind != core.KindItem {
+			t.Fatal("non-item in item results")
+		}
+	}
+}
+
+func TestCoverageConceptNetBeatsCPV(t *testing.T) {
+	a := buildArts(t)
+	full := NewEngine(a.Net, a.World.Stopwords())
+	cpv := NewCPVEngine(a.Net, a.World.Stopwords())
+	qs := a.World.QuerySet(400)
+	queries := make([][]string, len(qs))
+	for i, q := range qs {
+		queries[i] = q.Tokens
+	}
+	cFull := MeasureCoverage(full, queries)
+	cCPV := MeasureCoverage(cpv, queries)
+	if cFull.Rate() <= cCPV.Rate() {
+		t.Fatalf("concept net coverage (%.2f) should beat CPV (%.2f)", cFull.Rate(), cCPV.Rate())
+	}
+	if cFull.Rate() < 0.55 {
+		t.Fatalf("full coverage too low: %.2f", cFull.Rate())
+	}
+	if cCPV.Rate() > 0.55 {
+		t.Fatalf("CPV coverage suspiciously high: %.2f", cCPV.Rate())
+	}
+}
+
+func TestRelevanceIsAExpansion(t *testing.T) {
+	a := buildArts(t)
+	cases := BuildRelevanceCases(a.Net, 200, 3)
+	if len(cases) < 50 {
+		t.Fatalf("too few relevance cases: %d", len(cases))
+	}
+	plain := EvalRelevance(a.Net, cases, false)
+	expanded := EvalRelevance(a.Net, cases, true)
+	if expanded.AUC <= plain.AUC {
+		t.Fatalf("isA expansion should raise AUC: %.3f vs %.3f", expanded.AUC, plain.AUC)
+	}
+	if expanded.BadCases >= plain.BadCases {
+		t.Fatalf("isA expansion should cut bad cases: %d vs %d", expanded.BadCases, plain.BadCases)
+	}
+}
+
+func TestCoveredRespectsStopwords(t *testing.T) {
+	a := buildArts(t)
+	e := NewEngine(a.Net, a.World.Stopwords())
+	if !e.Covered([]string{"outdoor", "barbecue"}) {
+		t.Fatal("known phrase should be covered")
+	}
+	if e.Covered([]string{"outdoor", "zzzgizmo"}) {
+		t.Fatal("unknown token should break coverage")
+	}
+}

@@ -1,0 +1,102 @@
+package conceptgen
+
+import (
+	"alicoco/internal/mat"
+	"alicoco/internal/text"
+)
+
+// Features is the preprocessed input of one candidate concept for the
+// classifier (Figure 5): char ids, word ids, POS/NER tag ids, per-word gloss
+// knowledge vectors, and the wide feature vector.
+type Features struct {
+	Tokens  []string
+	CharIDs []int
+	WordIDs []int
+	POS     []int
+	NER     []int     // domain id per word (0 = none)
+	Gloss   []mat.Vec // knowledge vector per word (zero vec if none)
+	Wide    mat.Vec
+}
+
+// WideDim is the size of the wide feature vector:
+// [numChars, numWords, avgWordLen, perplexity, minPopularity, avgPopularity, oovFraction].
+const WideDim = 7
+
+// Featurizer converts token sequences to Features. The NER and Gloss
+// lookups come from the net under construction (known primitive surfaces),
+// the LM is the fluency model, and the POS tagger supplies tag features.
+type Featurizer struct {
+	CharVocab *text.Vocab
+	WordVocab *text.Vocab
+	POS       *text.POSTagger
+	LM        *text.NGramLM
+	// DomainOf returns a dense id >= 1 for a word that is a known
+	// primitive surface, 0 otherwise.
+	DomainOf func(word string) int
+	// GlossVec returns the knowledge vector for a word ("" vector when
+	// unknown).
+	GlossVec func(word string) mat.Vec
+	GlossDim int
+	// Ablation switches (Table 4): when UseLM is false the perplexity and
+	// popularity slots are zeroed; the gloss branch is controlled by the
+	// classifier config.
+	UseLM bool
+}
+
+// NumDomains is the NER tag-embedding table size (20 domains + none).
+const NumDomains = 21
+
+// Featurize preprocesses a candidate. Vocabularies grow unless frozen.
+func (f *Featurizer) Featurize(tokens []string) Features {
+	ft := Features{Tokens: tokens}
+	joined := ""
+	for i, tok := range tokens {
+		if i > 0 {
+			joined += " "
+		}
+		joined += tok
+	}
+	for _, r := range joined {
+		ft.CharIDs = append(ft.CharIDs, f.CharVocab.Add(string(r)))
+	}
+	ft.WordIDs = f.WordVocab.Encode(tokens)
+	for _, p := range f.POS.TagSeq(tokens) {
+		ft.POS = append(ft.POS, int(p))
+	}
+	nChars := float64(len(joined))
+	nWords := float64(len(tokens))
+	var minPop, sumPop float64
+	minPop = 1
+	oov := 0.0
+	for _, tok := range tokens {
+		ft.NER = append(ft.NER, f.DomainOf(tok))
+		if f.GlossVec != nil {
+			ft.Gloss = append(ft.Gloss, f.GlossVec(tok))
+		} else {
+			ft.Gloss = append(ft.Gloss, mat.NewVec(f.GlossDim))
+		}
+		pop := f.LM.WordFrequency(tok)
+		if pop < minPop {
+			minPop = pop
+		}
+		sumPop += pop
+		if pop == 0 {
+			oov++
+		}
+	}
+	ppl := 0.0
+	pops := [3]float64{}
+	if f.UseLM {
+		ppl = f.LM.Perplexity(tokens)
+		if ppl > 1000 {
+			ppl = 1000
+		}
+		ppl /= 1000 // normalize to [0,1]
+		pops[0] = minPop * 100
+		pops[1] = sumPop / nWords * 100
+		pops[2] = oov / nWords
+	}
+	avgLen := nChars / nWords
+	ft.Wide = mat.Vec{nChars / 30, nWords / 6, avgLen / 10, ppl, pops[0], pops[1], pops[2]}
+	return ft
+}

@@ -1,0 +1,158 @@
+// Package conceptgen implements e-commerce concept generation
+// (Section 5.2): candidate generation by phrase mining (an AutoPhrase-lite
+// over the corpus) and by pattern combination of primitive concepts, then
+// the knowledge-enhanced Wide&Deep classifier that keeps only candidates
+// meeting the five criteria of Section 5.1 (evaluated as Table 4).
+package conceptgen
+
+import (
+	"sort"
+	"strings"
+)
+
+// MinedPhrase is a candidate phrase with corpus support.
+type MinedPhrase struct {
+	Tokens []string
+	Count  int
+}
+
+// Name returns the space-joined phrase.
+func (p MinedPhrase) Name() string { return strings.Join(p.Tokens, " ") }
+
+// MinePhrases extracts frequent 2-4 token phrases from the corpus whose
+// boundaries are content words — the AutoPhrase stand-in. A phrase must
+// occur at least minCount times and not start or end with a stopword.
+func MinePhrases(corpus [][]string, minCount int, stopwords map[string]bool) []MinedPhrase {
+	counts := make(map[string]int)
+	for _, sent := range corpus {
+		for n := 2; n <= 4; n++ {
+			for i := 0; i+n <= len(sent); i++ {
+				first, last := sent[i], sent[i+n-1]
+				if stopwords[first] || stopwords[last] {
+					continue
+				}
+				counts[strings.Join(sent[i:i+n], " ")]++
+			}
+		}
+	}
+	var out []MinedPhrase
+	for phrase, c := range counts {
+		if c < minCount {
+			continue
+		}
+		out = append(out, MinedPhrase{Tokens: strings.Fields(phrase), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// StopwordSet builds a lookup set.
+func StopwordSet(words []string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// Pattern is a combination template over primitive-concept classes
+// (Table 1 of the paper), e.g. {"Function", "Category", "for", "Event"}:
+// capitalized elements are class slots, lower-case elements are literals.
+type Pattern []string
+
+// DefaultPatterns mirrors Table 1.
+func DefaultPatterns() []Pattern {
+	return []Pattern{
+		{"Function", "Category", "for", "Event"},
+		{"Style", "Time", "Category"},
+		{"Location", "Event"},
+		{"Function", "for", "Audience"},
+		{"Event", "in", "Location"},
+		{"Time", "Category", "for", "Audience"},
+	}
+}
+
+// Combiner generates candidates by filling patterns with primitives.
+type Combiner struct {
+	// ByClass maps a class name to the surface forms available for it.
+	ByClass map[string][]string
+}
+
+// Generate fills each pattern with the idx-th combination in mixed-radix
+// order, yielding up to n candidates round-robin across patterns. The
+// output is deterministic.
+func (c *Combiner) Generate(patterns []Pattern, n int) [][]string {
+	var out [][]string
+	if n <= 0 {
+		return out
+	}
+	counters := make([]int, len(patterns))
+	for len(out) < n {
+		progressed := false
+		for pi, pat := range patterns {
+			if len(out) >= n {
+				break
+			}
+			cand, ok := c.fill(pat, counters[pi])
+			counters[pi]++
+			if !ok {
+				continue
+			}
+			progressed = true
+			out = append(out, cand)
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// fill instantiates pattern slots using the idx-th mixed-radix combination;
+// ok is false when idx exceeds the combination space.
+func (c *Combiner) fill(pat Pattern, idx int) ([]string, bool) {
+	sizes := make([]int, 0, len(pat))
+	for _, el := range pat {
+		if isSlot(el) {
+			vals := c.ByClass[el]
+			if len(vals) == 0 {
+				return nil, false
+			}
+			sizes = append(sizes, len(vals))
+		}
+	}
+	total := 1
+	for _, s := range sizes {
+		total *= s
+		if total > 1<<30 {
+			break
+		}
+	}
+	if idx >= total {
+		return nil, false
+	}
+	var tokens []string
+	si := 0
+	rem := idx
+	for _, el := range pat {
+		if !isSlot(el) {
+			tokens = append(tokens, el)
+			continue
+		}
+		vals := c.ByClass[el]
+		choice := rem % len(vals)
+		rem /= len(vals)
+		_ = si
+		tokens = append(tokens, strings.Fields(vals[choice])...)
+	}
+	return tokens, true
+}
+
+func isSlot(el string) bool {
+	return len(el) > 0 && el[0] >= 'A' && el[0] <= 'Z'
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportDOT(t *testing.T) {
+	n, ids := buildToyNet(t)
+	var buf bytes.Buffer
+	if err := n.ExportDOT(&buf, ids["eWedding"], 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph alicoco {") {
+		t.Fatal("not a digraph")
+	}
+	for _, want := range []string{"econcept: wedding party", "primitive: dress", "interpretedBy", "itemEConcept"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Depth 1 export should be smaller than depth 3.
+	var small, large bytes.Buffer
+	if err := n.ExportDOT(&small, ids["eWedding"], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ExportDOT(&large, ids["eWedding"], 3); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() >= large.Len() {
+		t.Fatal("depth limit has no effect")
+	}
+}
+
+func TestExportDOTInvalidRoot(t *testing.T) {
+	n := NewNet()
+	var buf bytes.Buffer
+	if err := n.ExportDOT(&buf, 99, 1); err == nil {
+		t.Fatal("invalid root should error")
+	}
+}

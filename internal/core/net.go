@@ -1,0 +1,391 @@
+// Package core implements the AliCoCo net itself: a four-layer typed
+// property graph (taxonomy classes, primitive concepts, e-commerce concepts,
+// items — Figure 1 of the paper) with name and adjacency indexes, typed
+// relation validation, traversal helpers, statistics, and snapshot
+// persistence. All read operations are safe for concurrent use.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeKind identifies which of the four layers a node belongs to.
+type NodeKind int
+
+// The four layers of Figure 1.
+const (
+	KindClass     NodeKind = iota // taxonomy class (Section 3)
+	KindPrimitive                 // primitive concept (Section 4)
+	KindEConcept                  // e-commerce concept (Section 5)
+	KindItem                      // item (Section 6)
+	numKinds
+)
+
+// String returns the layer name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindClass:
+		return "class"
+	case KindPrimitive:
+		return "primitive"
+	case KindEConcept:
+		return "econcept"
+	case KindItem:
+		return "item"
+	default:
+		return "invalid"
+	}
+}
+
+// EdgeKind identifies the relation type between layers.
+type EdgeKind int
+
+// Relation types of Figure 1.
+const (
+	EdgeIsA           EdgeKind = iota // within-layer hierarchy (class->class, primitive->primitive, econcept->econcept)
+	EdgeInstanceOf                    // primitive -> class
+	EdgeInterpretedBy                 // econcept -> primitive ("e-commerce - primitive cpts")
+	EdgeItemPrimitive                 // item -> primitive (property-like relatedness)
+	EdgeItemEConcept                  // item -> econcept (needed under a scenario)
+	EdgeSchema                        // class -> class, named relation (suitable_when, ...)
+	numEdgeKinds
+)
+
+// String returns the relation name.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeIsA:
+		return "isA"
+	case EdgeInstanceOf:
+		return "instanceOf"
+	case EdgeInterpretedBy:
+		return "interpretedBy"
+	case EdgeItemPrimitive:
+		return "itemPrimitive"
+	case EdgeItemEConcept:
+		return "itemEConcept"
+	case EdgeSchema:
+		return "schema"
+	default:
+		return "invalid"
+	}
+}
+
+// edgeRule describes the layer pairs an edge kind may connect.
+var edgeRules = map[EdgeKind][][2]NodeKind{
+	EdgeIsA:           {{KindClass, KindClass}, {KindPrimitive, KindPrimitive}, {KindEConcept, KindEConcept}},
+	EdgeInstanceOf:    {{KindPrimitive, KindClass}},
+	EdgeInterpretedBy: {{KindEConcept, KindPrimitive}},
+	EdgeItemPrimitive: {{KindItem, KindPrimitive}},
+	EdgeItemEConcept:  {{KindItem, KindEConcept}},
+	EdgeSchema:        {{KindClass, KindClass}},
+}
+
+// NodeID is a stable node handle within one Net.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find nothing.
+const InvalidNode NodeID = -1
+
+// Node is one vertex of the net.
+type Node struct {
+	ID     NodeID
+	Kind   NodeKind
+	Name   string // surface form (lower-cased); not unique
+	Domain string // taxonomy domain for classes/primitives, family for items
+}
+
+// HalfEdge is an outgoing or incoming adjacency record.
+type HalfEdge struct {
+	Peer   NodeID
+	Kind   EdgeKind
+	Rel    string  // named schema relation, "" otherwise
+	Weight float64 // confidence/probability; 1 for manual edges
+}
+
+// Net is the concept net store.
+type Net struct {
+	mu     sync.RWMutex
+	nodes  []Node
+	outAdj [][]HalfEdge
+	inAdj  [][]HalfEdge
+	byName map[string][]NodeID
+	edges  int
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net {
+	return &Net{byName: make(map[string][]NodeID)}
+}
+
+// AddNode inserts a node and returns its ID. Duplicate (kind, name, domain)
+// triples return the existing node, making loads idempotent.
+func (n *Net) AddNode(kind NodeKind, name, domain string) NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range n.byName[name] {
+		nd := n.nodes[id]
+		if nd.Kind == kind && nd.Domain == domain {
+			return id
+		}
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, Node{ID: id, Kind: kind, Name: name, Domain: domain})
+	n.outAdj = append(n.outAdj, nil)
+	n.inAdj = append(n.inAdj, nil)
+	n.byName[name] = append(n.byName[name], id)
+	return id
+}
+
+// AddEdge inserts a typed edge after validating layer compatibility.
+// Duplicate (from, to, kind, rel) edges update the weight instead.
+func (n *Net) AddEdge(from, to NodeID, kind EdgeKind, rel string, weight float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.valid(from) || !n.valid(to) {
+		return fmt.Errorf("core: AddEdge with invalid node id %d -> %d", from, to)
+	}
+	fk, tk := n.nodes[from].Kind, n.nodes[to].Kind
+	allowed := false
+	for _, rule := range edgeRules[kind] {
+		if rule[0] == fk && rule[1] == tk {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("core: edge %s not allowed from %s to %s", kind, fk, tk)
+	}
+	for i, he := range n.outAdj[from] {
+		if he.Peer == to && he.Kind == kind && he.Rel == rel {
+			n.outAdj[from][i].Weight = weight
+			for j, ie := range n.inAdj[to] {
+				if ie.Peer == from && ie.Kind == kind && ie.Rel == rel {
+					n.inAdj[to][j].Weight = weight
+				}
+			}
+			return nil
+		}
+	}
+	n.outAdj[from] = append(n.outAdj[from], HalfEdge{Peer: to, Kind: kind, Rel: rel, Weight: weight})
+	n.inAdj[to] = append(n.inAdj[to], HalfEdge{Peer: from, Kind: kind, Rel: rel, Weight: weight})
+	n.edges++
+	return nil
+}
+
+func (n *Net) valid(id NodeID) bool { return id >= 0 && int(id) < len(n.nodes) }
+
+// Node returns the node for id; ok is false for invalid ids.
+func (n *Net) Node(id NodeID) (Node, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.valid(id) {
+		return Node{}, false
+	}
+	return n.nodes[id], true
+}
+
+// NumNodes returns the node count.
+func (n *Net) NumNodes() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.nodes)
+}
+
+// NumEdges returns the edge count.
+func (n *Net) NumEdges() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.edges
+}
+
+// FindByName returns all nodes with the given surface form — several when
+// the form is ambiguous (same name, different domains or layers), which is
+// how the net disambiguates raw text (Section 4.1).
+func (n *Net) FindByName(name string) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]NodeID(nil), n.byName[name]...)
+}
+
+// FindByNameKind returns nodes with the given name in one layer.
+func (n *Net) FindByNameKind(name string, kind NodeKind) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []NodeID
+	for _, id := range n.byName[name] {
+		if n.nodes[id].Kind == kind {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FirstByNameKind returns the first matching node or InvalidNode.
+func (n *Net) FirstByNameKind(name string, kind NodeKind) NodeID {
+	ids := n.FindByNameKind(name, kind)
+	if len(ids) == 0 {
+		return InvalidNode
+	}
+	return ids[0]
+}
+
+// Out returns outgoing half-edges of a kind (all kinds if kind < 0).
+func (n *Net) Out(id NodeID, kind EdgeKind) []HalfEdge {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return filterAdj(n.outAdj, id, kind, len(n.nodes))
+}
+
+// In returns incoming half-edges of a kind (all kinds if kind < 0).
+func (n *Net) In(id NodeID, kind EdgeKind) []HalfEdge {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return filterAdj(n.inAdj, id, kind, len(n.nodes))
+}
+
+func filterAdj(adj [][]HalfEdge, id NodeID, kind EdgeKind, n int) []HalfEdge {
+	if id < 0 || int(id) >= n {
+		return nil
+	}
+	var out []HalfEdge
+	for _, he := range adj[id] {
+		if kind < 0 || he.Kind == kind {
+			out = append(out, he)
+		}
+	}
+	return out
+}
+
+// Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
+// maxDepth levels (maxDepth <= 0 means unlimited) and returns the visited
+// ancestor IDs in BFS order, excluding id itself.
+func (n *Net) Ancestors(id NodeID, maxDepth int) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.valid(id) {
+		return nil
+	}
+	type qe struct {
+		id    NodeID
+		depth int
+	}
+	seen := map[NodeID]bool{id: true}
+	queue := []qe{{id, 0}}
+	var out []NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if maxDepth > 0 && cur.depth >= maxDepth {
+			continue
+		}
+		for _, he := range n.outAdj[cur.id] {
+			if he.Kind != EdgeIsA && he.Kind != EdgeInstanceOf {
+				continue
+			}
+			if seen[he.Peer] {
+				continue
+			}
+			seen[he.Peer] = true
+			out = append(out, he.Peer)
+			queue = append(queue, qe{he.Peer, cur.depth + 1})
+		}
+	}
+	return out
+}
+
+// Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
+func (n *Net) Descendants(id NodeID, maxDepth int) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.valid(id) {
+		return nil
+	}
+	type qe struct {
+		id    NodeID
+		depth int
+	}
+	seen := map[NodeID]bool{id: true}
+	queue := []qe{{id, 0}}
+	var out []NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if maxDepth > 0 && cur.depth >= maxDepth {
+			continue
+		}
+		for _, he := range n.inAdj[cur.id] {
+			if he.Kind != EdgeIsA && he.Kind != EdgeInstanceOf {
+				continue
+			}
+			if seen[he.Peer] {
+				continue
+			}
+			seen[he.Peer] = true
+			out = append(out, he.Peer)
+			queue = append(queue, qe{he.Peer, cur.depth + 1})
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether anc is reachable upward from id.
+func (n *Net) IsAncestor(id, anc NodeID) bool {
+	for _, a := range n.Ancestors(id, 0) {
+		if a == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesOfKind returns all node IDs in one layer.
+func (n *Net) NodesOfKind(kind NodeKind) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []NodeID
+	for _, nd := range n.nodes {
+		if nd.Kind == kind {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// ItemsForEConcept returns items associated with an e-commerce concept,
+// best-weight first, up to limit (limit <= 0 means all).
+func (n *Net) ItemsForEConcept(id NodeID, limit int) []HalfEdge {
+	items := n.In(id, EdgeItemEConcept)
+	sortHalfEdgesByWeight(items)
+	if limit > 0 && len(items) > limit {
+		items = items[:limit]
+	}
+	return items
+}
+
+// EConceptsForItem returns the e-commerce concepts an item serves.
+func (n *Net) EConceptsForItem(id NodeID, limit int) []HalfEdge {
+	out := n.Out(id, EdgeItemEConcept)
+	sortHalfEdgesByWeight(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// PrimitivesForEConcept returns the primitive concepts interpreting an
+// e-commerce concept (the "understanding" links of Section 5.3).
+func (n *Net) PrimitivesForEConcept(id NodeID) []HalfEdge {
+	return n.Out(id, EdgeInterpretedBy)
+}
+
+func sortHalfEdgesByWeight(hes []HalfEdge) {
+	sort.Slice(hes, func(i, j int) bool {
+		if hes[i].Weight != hes[j].Weight {
+			return hes[i].Weight > hes[j].Weight
+		}
+		return hes[i].Peer < hes[j].Peer
+	})
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire form of a Net.
+type snapshot struct {
+	Version int
+	Nodes   []Node
+	Out     [][]HalfEdge
+	Edges   int
+}
+
+const snapshotVersion = 1
+
+// Save writes a binary snapshot of the net. Only outgoing adjacency is
+// stored; the incoming index is rebuilt on load.
+func (n *Net) Save(w io.Writer) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := snapshot{Version: snapshotVersion, Nodes: n.nodes, Out: n.outAdj, Edges: n.edges}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and returns the reconstructed net.
+func Load(r io.Reader) (*Net, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", s.Version)
+	}
+	n := NewNet()
+	n.nodes = s.Nodes
+	n.outAdj = s.Out
+	n.edges = s.Edges
+	n.inAdj = make([][]HalfEdge, len(s.Nodes))
+	for _, nd := range s.Nodes {
+		n.byName[nd.Name] = append(n.byName[nd.Name], nd.ID)
+	}
+	for from, hes := range s.Out {
+		for _, he := range hes {
+			if !n.valid(he.Peer) {
+				return nil, fmt.Errorf("core: load: edge to invalid node %d", he.Peer)
+			}
+			n.inAdj[he.Peer] = append(n.inAdj[he.Peer], HalfEdge{
+				Peer: NodeID(from), Kind: he.Kind, Rel: he.Rel, Weight: he.Weight,
+			})
+		}
+	}
+	return n, nil
+}

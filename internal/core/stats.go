@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the net the way Table 2 of the paper does: node counts
+// per layer, primitive counts per domain, relation counts per edge kind, and
+// average degrees between layers.
+type Stats struct {
+	Nodes           int
+	Edges           int
+	PerKind         map[string]int
+	PrimitivesByDom map[string]int
+	EdgesByKind     map[string]int
+
+	IsAPrimitive int // isA relations in the primitive layer
+	IsAEConcept  int // isA relations in the e-commerce concept layer
+
+	AvgPrimitivesPerItem float64
+	AvgEConceptsPerItem  float64
+	AvgItemsPerEConcept  float64
+	AvgPrimsPerEConcept  float64
+}
+
+// ComputeStats scans the net once and fills a Stats.
+func (n *Net) ComputeStats() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := Stats{
+		Nodes:           len(n.nodes),
+		Edges:           n.edges,
+		PerKind:         make(map[string]int),
+		PrimitivesByDom: make(map[string]int),
+		EdgesByKind:     make(map[string]int),
+	}
+	items, econcepts := 0, 0
+	var itemPrim, itemEcpt, ecptPrim int
+	for id, nd := range n.nodes {
+		s.PerKind[nd.Kind.String()]++
+		if nd.Kind == KindPrimitive {
+			s.PrimitivesByDom[nd.Domain]++
+		}
+		if nd.Kind == KindItem {
+			items++
+		}
+		if nd.Kind == KindEConcept {
+			econcepts++
+		}
+		for _, he := range n.outAdj[id] {
+			s.EdgesByKind[he.Kind.String()]++
+			switch he.Kind {
+			case EdgeIsA:
+				switch nd.Kind {
+				case KindPrimitive:
+					s.IsAPrimitive++
+				case KindEConcept:
+					s.IsAEConcept++
+				}
+			case EdgeItemPrimitive:
+				itemPrim++
+			case EdgeItemEConcept:
+				itemEcpt++
+			case EdgeInterpretedBy:
+				ecptPrim++
+			}
+		}
+	}
+	if items > 0 {
+		s.AvgPrimitivesPerItem = float64(itemPrim) / float64(items)
+		s.AvgEConceptsPerItem = float64(itemEcpt) / float64(items)
+	}
+	if econcepts > 0 {
+		s.AvgItemsPerEConcept = float64(itemEcpt) / float64(econcepts)
+		s.AvgPrimsPerEConcept = float64(ecptPrim) / float64(econcepts)
+	}
+	return s
+}
+
+// Render formats the stats as a Table-2-style text block.
+func (s Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Overall\n")
+	fmt.Fprintf(&b, "  # Primitive concepts   %d\n", s.PerKind["primitive"])
+	fmt.Fprintf(&b, "  # E-commerce concepts  %d\n", s.PerKind["econcept"])
+	fmt.Fprintf(&b, "  # Taxonomy classes     %d\n", s.PerKind["class"])
+	fmt.Fprintf(&b, "  # Items                %d\n", s.PerKind["item"])
+	fmt.Fprintf(&b, "  # Relations            %d\n", s.Edges)
+	fmt.Fprintf(&b, "Primitive concepts by domain\n")
+	doms := make([]string, 0, len(s.PrimitivesByDom))
+	for d := range s.PrimitivesByDom {
+		doms = append(doms, d)
+	}
+	sort.Strings(doms)
+	for _, d := range doms {
+		fmt.Fprintf(&b, "  # %-14s %d\n", d, s.PrimitivesByDom[d])
+	}
+	fmt.Fprintf(&b, "Relations\n")
+	fmt.Fprintf(&b, "  # IsA in primitive concepts    %d\n", s.IsAPrimitive)
+	fmt.Fprintf(&b, "  # IsA in e-commerce concepts   %d\n", s.IsAEConcept)
+	fmt.Fprintf(&b, "  # Item - Primitive concepts    %d\n", s.EdgesByKind["itemPrimitive"])
+	fmt.Fprintf(&b, "  # Item - E-commerce concepts   %d\n", s.EdgesByKind["itemEConcept"])
+	fmt.Fprintf(&b, "  # E-commerce - Primitive cpts  %d\n", s.EdgesByKind["interpretedBy"])
+	fmt.Fprintf(&b, "Degrees\n")
+	fmt.Fprintf(&b, "  avg primitive concepts per item   %.1f\n", s.AvgPrimitivesPerItem)
+	fmt.Fprintf(&b, "  avg e-commerce concepts per item  %.1f\n", s.AvgEConceptsPerItem)
+	fmt.Fprintf(&b, "  avg items per e-commerce concept  %.1f\n", s.AvgItemsPerEConcept)
+	return b.String()
+}

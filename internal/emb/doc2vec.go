@@ -1,0 +1,98 @@
+package emb
+
+import (
+	"math/rand"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/text"
+)
+
+// Doc2Vec is a PV-DBOW document encoder: a document vector is trained to
+// predict the document's words against the (frozen) word2vec output matrix.
+// It plays the role of the Doc2vec gloss encoder in Sections 5.2.2/5.3/6.
+type Doc2Vec struct {
+	w2v      *Word2Vec
+	Epochs   int
+	LR       float64
+	Negative int
+	Seed     int64
+}
+
+// NewDoc2Vec wraps a trained Word2Vec model as a document encoder.
+func NewDoc2Vec(w2v *Word2Vec) *Doc2Vec {
+	return &Doc2Vec{w2v: w2v, Epochs: 12, LR: 0.1, Negative: 4, Seed: 3}
+}
+
+// Dim returns the embedding dimension.
+func (d *Doc2Vec) Dim() int { return d.w2v.Dim }
+
+// Encode infers a vector for the document by PV-DBOW gradient steps against
+// the frozen word output vectors, starting from the mean word vector.
+// Deterministic for fixed inputs.
+func (d *Doc2Vec) Encode(tokens []string) mat.Vec {
+	ids := d.w2v.Vocab.EncodeFixed(tokens)
+	var known []int
+	for _, id := range ids {
+		if id != text.UnkID && id != text.PadID {
+			known = append(known, id)
+		}
+	}
+	vec := mat.NewVec(d.w2v.Dim)
+	if len(known) == 0 {
+		return vec
+	}
+	// Warm start: mean of input vectors.
+	for _, id := range known {
+		vec.Add(d.w2v.In.Row(id))
+	}
+	vec.Scale(1 / float64(len(known)))
+
+	rng := rand.New(rand.NewSource(d.Seed + int64(len(tokens))))
+	for epoch := 0; epoch < d.Epochs; epoch++ {
+		lr := d.LR * (1 - float64(epoch)/float64(d.Epochs+1))
+		for _, id := range known {
+			out := d.w2v.Out.Row(id)
+			p := mat.Sigmoid(vec.Dot(out))
+			vec.AddScaled(-(p-1)*lr, out)
+			for k := 0; k < d.Negative && len(d.w2v.unigram) > 0; k++ {
+				neg := d.w2v.unigram[rng.Intn(len(d.w2v.unigram))]
+				if neg == id {
+					continue
+				}
+				nOut := d.w2v.Out.Row(neg)
+				pn := mat.Sigmoid(vec.Dot(nOut))
+				vec.AddScaled(-pn*lr, nOut)
+			}
+		}
+	}
+	return vec
+}
+
+// Glossary is the external knowledge base: one encoded gloss vector per
+// primitive-concept ID, plus the raw gloss text for lexical lookups.
+type Glossary struct {
+	Dim   int
+	Texts map[int]string
+	Vecs  map[int]mat.Vec
+}
+
+// BuildGlossary encodes every gloss with the document encoder.
+func BuildGlossary(glosses map[int]string, d2v *Doc2Vec) *Glossary {
+	g := &Glossary{Dim: d2v.Dim(), Texts: make(map[int]string, len(glosses)), Vecs: make(map[int]mat.Vec, len(glosses))}
+	for id, gl := range glosses {
+		g.Texts[id] = gl
+		g.Vecs[id] = d2v.Encode(text.Tokenize(gl))
+	}
+	return g
+}
+
+// Vec returns the gloss vector for a primitive ID (zero vector if absent).
+func (g *Glossary) Vec(id int) mat.Vec {
+	if v, ok := g.Vecs[id]; ok {
+		return v.Clone()
+	}
+	return mat.NewVec(g.Dim)
+}
+
+// Text returns the gloss text for a primitive ID.
+func (g *Glossary) Text(id int) string { return g.Texts[id] }

@@ -1,0 +1,158 @@
+// Package emb trains the distributional embeddings the paper's models
+// consume: skip-gram word vectors with negative sampling (the stand-in for
+// pre-trained GloVe, Section 5.3), a PV-DBOW document encoder (the stand-in
+// for Doc2vec, Section 5.2.2), and the gloss knowledge base built from the
+// world's generated glosses (the stand-in for Wikipedia).
+package emb
+
+import (
+	"math"
+	"math/rand"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/text"
+)
+
+// W2VConfig controls skip-gram training.
+type W2VConfig struct {
+	Dim      int
+	Window   int
+	Negative int
+	Epochs   int
+	LR       float64
+	MinCount int
+	Seed     int64
+}
+
+// DefaultW2VConfig returns settings sized for the synthetic corpus.
+func DefaultW2VConfig() W2VConfig {
+	return W2VConfig{Dim: 32, Window: 3, Negative: 5, Epochs: 3, LR: 0.05, MinCount: 1, Seed: 1}
+}
+
+// Word2Vec holds trained input (In) and output (Out) vectors per vocab id.
+type Word2Vec struct {
+	Vocab *text.Vocab
+	Dim   int
+	In    *mat.Mat
+	Out   *mat.Mat
+
+	unigram []int // negative-sampling table of vocab ids
+}
+
+// TrainWord2Vec trains skip-gram with negative sampling over the corpus.
+// Deterministic for a fixed config.
+func TrainWord2Vec(corpus [][]string, cfg W2VConfig) *Word2Vec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	counts := make(map[string]int)
+	for _, sent := range corpus {
+		for _, w := range sent {
+			counts[w]++
+		}
+	}
+	vocab := text.NewVocab()
+	for _, sent := range corpus {
+		for _, w := range sent {
+			if counts[w] >= cfg.MinCount {
+				vocab.Add(w)
+			}
+		}
+	}
+	vocab.Freeze()
+	m := &Word2Vec{Vocab: vocab, Dim: cfg.Dim, In: mat.NewMat(vocab.Len(), cfg.Dim), Out: mat.NewMat(vocab.Len(), cfg.Dim)}
+	m.In.RandInit(rng, 0.5/float64(cfg.Dim))
+	m.buildUnigramTable(counts)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs+1))
+		for _, sent := range corpus {
+			ids := vocab.EncodeFixed(sent)
+			for i, center := range ids {
+				if center == text.UnkID || center == text.PadID {
+					continue
+				}
+				win := 1 + rng.Intn(cfg.Window)
+				for j := i - win; j <= i+win; j++ {
+					if j < 0 || j >= len(ids) || j == i {
+						continue
+					}
+					ctx := ids[j]
+					if ctx == text.UnkID || ctx == text.PadID {
+						continue
+					}
+					m.trainPair(center, ctx, cfg.Negative, lr, rng)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *Word2Vec) buildUnigramTable(counts map[string]int) {
+	const tableSize = 1 << 16
+	var total float64
+	pow := make([]float64, m.Vocab.Len())
+	for w, c := range counts {
+		id := m.Vocab.ID(w)
+		if id <= text.UnkID {
+			continue
+		}
+		pow[id] = math.Pow(float64(c), 0.75)
+		total += pow[id]
+	}
+	if total == 0 {
+		return
+	}
+	m.unigram = make([]int, 0, tableSize)
+	for id, p := range pow {
+		n := int(p / total * tableSize)
+		for k := 0; k <= n; k++ {
+			m.unigram = append(m.unigram, id)
+		}
+	}
+}
+
+// trainPair performs one SGNS update: center's In vector against ctx's Out
+// vector (positive) and sampled negatives.
+func (m *Word2Vec) trainPair(center, ctx, negative int, lr float64, rng *rand.Rand) {
+	in := m.In.Row(center)
+	dIn := mat.NewVec(m.Dim)
+	update := func(outID int, label float64) {
+		out := m.Out.Row(outID)
+		p := mat.Sigmoid(in.Dot(out))
+		g := (p - label) * lr
+		dIn.AddScaled(-g, out)
+		out.AddScaled(-g, in)
+	}
+	update(ctx, 1)
+	for k := 0; k < negative && len(m.unigram) > 0; k++ {
+		neg := m.unigram[rng.Intn(len(m.unigram))]
+		if neg == ctx {
+			continue
+		}
+		update(neg, 0)
+	}
+	in.Add(dIn)
+}
+
+// Vec returns the input vector for a word (zero vector if unknown).
+func (m *Word2Vec) Vec(word string) mat.Vec {
+	id := m.Vocab.ID(word)
+	if id == text.UnkID || id == text.PadID {
+		return mat.NewVec(m.Dim)
+	}
+	return m.In.Row(id).Clone()
+}
+
+// Similarity returns the cosine similarity of two words' vectors.
+func (m *Word2Vec) Similarity(a, b string) float64 {
+	return mat.CosineSimilarity(m.Vec(a), m.Vec(b))
+}
+
+// EmbedSeq maps tokens to their vectors.
+func (m *Word2Vec) EmbedSeq(tokens []string) []mat.Vec {
+	out := make([]mat.Vec, len(tokens))
+	for i, w := range tokens {
+		out[i] = m.Vec(w)
+	}
+	return out
+}

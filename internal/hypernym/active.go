@@ -1,0 +1,188 @@
+package hypernym
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Strategy is an active-learning sampling strategy (Section 4.2.3 / 7.3).
+type Strategy string
+
+// The four strategies of Table 3.
+const (
+	Random Strategy = "Random" // label the whole pool in random order
+	US     Strategy = "US"     // uncertainty sampling
+	CS     Strategy = "CS"     // high-confidence sampling
+	UCS    Strategy = "UCS"    // uncertainty + high-confidence (Algorithm 1)
+)
+
+// ALConfig controls the active-learning loop.
+type ALConfig struct {
+	K        int     // samples labeled per iteration
+	Alpha    float64 // UCS mix: alpha*K uncertain + (1-alpha)*K confident
+	MaxIters int
+	Patience int // stop when MAP hasn't improved for this many iterations
+	Epochs   int // training epochs per iteration
+	LR       float64
+	TensorK  int // projection tensor slices
+	EmbDim   int
+	Seed     int64
+	MaxCands int // candidate cap during evaluation
+}
+
+// DefaultALConfig returns laptop-scale settings.
+func DefaultALConfig(embDim int) ALConfig {
+	return ALConfig{
+		K: 250, Alpha: 0.7, MaxIters: 10, Patience: 2,
+		Epochs: 4, LR: 0.01, TensorK: 4, EmbDim: embDim, Seed: 11, MaxCands: 0,
+	}
+}
+
+// ALRound records one iteration of the loop.
+type ALRound struct {
+	Labeled int
+	MAP     float64
+}
+
+// ALResult is one strategy's outcome for Table 3.
+type ALResult struct {
+	Strategy    Strategy
+	LabeledUsed int // labels consumed at the best-MAP iteration
+	Best        EvalResult
+	History     []ALRound
+}
+
+// RunActiveLearning executes Algorithm 1 over a pool of unlabeled examples
+// whose true labels act as the oracle annotator H. The model is retrained
+// from scratch each iteration (train_test in the paper).
+func RunActiveLearning(d *Dataset, pool []Example, testPos [][2]int, cfg ALConfig, strat Strategy) ALResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	remaining := append([]Example(nil), pool...)
+	rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
+
+	res := ALResult{Strategy: strat}
+	var labeled []Example
+	bestMAP := math.Inf(-1)
+	noImprove := 0
+
+	takeFront := func(k int) {
+		if k > len(remaining) {
+			k = len(remaining)
+		}
+		labeled = append(labeled, remaining[:k]...)
+		remaining = remaining[k:]
+	}
+
+	// Initial random batch (Algorithm 1, lines 3-7).
+	takeFront(cfg.K)
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		model := NewProjection(cfg.EmbDim, cfg.TensorK, cfg.Seed+100)
+		model.Fit(labeled, cfg.Epochs, cfg.LR, 32, cfg.Seed+int64(iter))
+		ev := d.Evaluate(model, testPos, cfg.MaxCands, cfg.Seed)
+		res.History = append(res.History, ALRound{Labeled: len(labeled), MAP: ev.MAP})
+		if ev.MAP > bestMAP {
+			bestMAP = ev.MAP
+			res.Best = ev
+			res.LabeledUsed = len(labeled)
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		if noImprove >= cfg.Patience || len(remaining) == 0 {
+			break
+		}
+
+		// Select the next batch (Algorithm 1, lines 9-10).
+		switch strat {
+		case Random:
+			takeFront(cfg.K)
+		default:
+			scores := make([]float64, len(remaining))
+			for i, ex := range remaining {
+				scores[i] = model.Score(ex.Hypo, ex.Hyper)
+			}
+			idx := make([]int, len(remaining))
+			for i := range idx {
+				idx[i] = i
+			}
+			var pick []int
+			switch strat {
+			case US:
+				sort.SliceStable(idx, func(a, b int) bool {
+					return certainty(scores[idx[a]]) < certainty(scores[idx[b]])
+				})
+				pick = idx[:min(cfg.K, len(idx))]
+			case CS:
+				sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+				pick = idx[:min(cfg.K, len(idx))]
+			case UCS:
+				nUnc := int(cfg.Alpha * float64(cfg.K))
+				byUnc := append([]int(nil), idx...)
+				sort.SliceStable(byUnc, func(a, b int) bool {
+					return certainty(scores[byUnc[a]]) < certainty(scores[byUnc[b]])
+				})
+				chosen := make(map[int]bool)
+				for _, i := range byUnc[:min(nUnc, len(byUnc))] {
+					chosen[i] = true
+					pick = append(pick, i)
+				}
+				byConf := append([]int(nil), idx...)
+				sort.SliceStable(byConf, func(a, b int) bool { return scores[byConf[a]] > scores[byConf[b]] })
+				for _, i := range byConf {
+					if len(pick) >= min(cfg.K, len(idx)) {
+						break
+					}
+					if !chosen[i] {
+						chosen[i] = true
+						pick = append(pick, i)
+					}
+				}
+				sort.Ints(pick)
+			}
+			takeIndices(&labeled, &remaining, pick)
+		}
+	}
+	return res
+}
+
+// certainty is the paper's p_i = |S_i - 0.5| / 0.5 (line 9 of Algorithm 1):
+// low means uncertain.
+func certainty(score float64) float64 { return math.Abs(score-0.5) / 0.5 }
+
+// takeIndices moves the picked indices from remaining into labeled.
+func takeIndices(labeled, remaining *[]Example, pick []int) {
+	picked := make(map[int]bool, len(pick))
+	for _, i := range pick {
+		picked[i] = true
+	}
+	var keep []Example
+	for i, ex := range *remaining {
+		if picked[i] {
+			*labeled = append(*labeled, ex)
+		} else {
+			keep = append(keep, ex)
+		}
+	}
+	*remaining = keep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LabelsToReach returns the number of labels the strategy needed to first
+// reach the target MAP, or -1 if it never did — the "Labeled Size" column of
+// Table 3.
+func (r ALResult) LabelsToReach(target float64) int {
+	for _, round := range r.History {
+		if round.MAP >= target {
+			return round.Labeled
+		}
+	}
+	return -1
+}

@@ -1,0 +1,188 @@
+package hypernym
+
+import (
+	"math/rand"
+	"sort"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/metrics"
+	"alicoco/internal/world"
+)
+
+// Dataset is the hypernym-discovery benchmark of Section 7.3: Category
+// primitives with ground-truth hypernyms, split into train/val/test (7:2:1),
+// plus the embedding function used by the projection model.
+type Dataset struct {
+	World    *world.World
+	Embed    func(tokens []string) mat.Vec
+	Concepts []int // candidate pool: all Category primitive IDs
+
+	Gold map[int]map[int]bool // hypo -> hypernym set (transitive truth)
+
+	TrainPos [][2]int
+	ValPos   [][2]int
+	TestPos  [][2]int
+}
+
+// BuildDataset splits the world's planted hypernym pairs 7:2:1 by hyponym so
+// no concept leaks across splits.
+func BuildDataset(w *world.World, embed func([]string) mat.Vec, seed int64) *Dataset {
+	d := &Dataset{World: w, Embed: embed, Gold: make(map[int]map[int]bool)}
+	d.Concepts = append([]int(nil), w.ByDomain[world.Category]...)
+	for _, pair := range w.HypernymPairs {
+		if d.Gold[pair[0]] == nil {
+			d.Gold[pair[0]] = make(map[int]bool)
+		}
+		d.Gold[pair[0]][pair[1]] = true
+	}
+	hypos := make([]int, 0, len(d.Gold))
+	for h := range d.Gold {
+		hypos = append(hypos, h)
+	}
+	sort.Ints(hypos)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(hypos), func(i, j int) { hypos[i], hypos[j] = hypos[j], hypos[i] })
+	nTrain := len(hypos) * 7 / 10
+	nVal := len(hypos) * 2 / 10
+	assign := func(hs []int) [][2]int {
+		var out [][2]int
+		for _, h := range hs {
+			for hyper := range d.Gold[h] {
+				out = append(out, [2]int{h, hyper})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+		return out
+	}
+	d.TrainPos = assign(hypos[:nTrain])
+	d.ValPos = assign(hypos[nTrain : nTrain+nVal])
+	d.TestPos = assign(hypos[nTrain+nVal:])
+	return d
+}
+
+// EmbedConcept embeds a primitive by ID.
+func (d *Dataset) EmbedConcept(id int) mat.Vec {
+	return d.Embed(d.World.Prim(id).Tokens)
+}
+
+// example materializes a labeled pair.
+func (d *Dataset) example(hypo, hyper int, label bool) Example {
+	return Example{
+		HypoID: hypo, HyperID: hyper,
+		Hypo: d.EmbedConcept(hypo), Hyper: d.EmbedConcept(hyper),
+		Label: label,
+	}
+}
+
+// isGold reports ground-truth hypernymy.
+func (d *Dataset) isGold(hypo, hyper int) bool { return d.Gold[hypo][hyper] }
+
+// TrainSet builds training examples with negRatio random negatives per
+// positive, the Figure 9 (left) knob: negatives replace the hypernym with a
+// random Category concept (Section 7.3).
+func (d *Dataset) TrainSet(pos [][2]int, negRatio int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Example
+	for _, p := range pos {
+		out = append(out, d.example(p[0], p[1], true))
+		for k := 0; k < negRatio; k++ {
+			hyper := d.Concepts[rng.Intn(len(d.Concepts))]
+			if hyper == p[0] || d.isGold(p[0], hyper) {
+				continue
+			}
+			out = append(out, d.example(p[0], hyper, false))
+		}
+	}
+	return out
+}
+
+// HardNegatives builds the difficult negatives that motivate UCS
+// (Section 4.2.3): co-hyponym pairs (siblings under the same hypernym) and
+// reversed pairs, both of which embed similarly to true pairs.
+func (d *Dataset) HardNegatives(pos [][2]int, perPos int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	// Index: hypernym -> hyponyms (within this split).
+	children := make(map[int][]int)
+	for _, p := range pos {
+		children[p[1]] = append(children[p[1]], p[0])
+	}
+	var out []Example
+	for _, p := range pos {
+		added := 0
+		sibs := children[p[1]]
+		if len(sibs) > 1 {
+			for tries := 0; tries < 8 && added < perPos; tries++ {
+				s := sibs[rng.Intn(len(sibs))]
+				if s == p[0] || d.isGold(p[0], s) {
+					continue
+				}
+				out = append(out, d.example(p[0], s, false))
+				added++
+			}
+		}
+		if added < perPos && !d.isGold(p[1], p[0]) {
+			out = append(out, d.example(p[1], p[0], false)) // reversed
+		}
+	}
+	return out
+}
+
+// EvalResult bundles the ranking metrics of Table 3.
+type EvalResult struct {
+	MAP, MRR, P1 float64
+}
+
+// Evaluate ranks every candidate hypernym for each test hyponym and computes
+// MAP, MRR and P@1 against the gold sets — the whole-vocabulary search of
+// Section 7.3. maxCandidates caps the pool per query (0 = all).
+func (d *Dataset) Evaluate(p *Projection, pos [][2]int, maxCandidates int, seed int64) EvalResult {
+	rng := rand.New(rand.NewSource(seed))
+	hypos := make([]int, 0)
+	seen := make(map[int]bool)
+	for _, pr := range pos {
+		if !seen[pr[0]] {
+			seen[pr[0]] = true
+			hypos = append(hypos, pr[0])
+		}
+	}
+	var rankings []metrics.Ranking
+	for _, hypo := range hypos {
+		hv := d.EmbedConcept(hypo)
+		cands := d.Concepts
+		if maxCandidates > 0 && len(cands) > maxCandidates {
+			// Sampled pool always containing the gold hypernyms.
+			pool := make([]int, 0, maxCandidates)
+			for hyper := range d.Gold[hypo] {
+				pool = append(pool, hyper)
+			}
+			sort.Ints(pool)
+			for len(pool) < maxCandidates {
+				c := d.Concepts[rng.Intn(len(d.Concepts))]
+				if c != hypo && !d.isGold(hypo, c) {
+					pool = append(pool, c)
+				}
+			}
+			cands = pool
+		}
+		scores := make([]float64, 0, len(cands))
+		labels := make([]bool, 0, len(cands))
+		for _, c := range cands {
+			if c == hypo {
+				continue
+			}
+			scores = append(scores, p.Score(hv, d.EmbedConcept(c)))
+			labels = append(labels, d.isGold(hypo, c))
+		}
+		rankings = append(rankings, metrics.RankScores(scores, labels))
+	}
+	return EvalResult{
+		MAP: metrics.MAP(rankings),
+		MRR: metrics.MRR(rankings),
+		P1:  metrics.MeanPrecisionAt(rankings, 1),
+	}
+}

@@ -1,0 +1,117 @@
+package hypernym
+
+import (
+	"math"
+	"math/rand"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/nn"
+)
+
+// Projection is the projection-learning model of Section 4.2.2: a K-slice
+// bilinear tensor s_k = pᵀ T_k h over frozen concept embeddings, combined by
+// a sigmoid output layer into the probability that h is a hypernym of p
+// (Equations 1-2).
+type Projection struct {
+	Dim, K int
+	T      []*nn.Param // K slices, each Dim×Dim
+	W      *nn.Param   // 1×K output weights
+	B      *nn.Param   // 1×1 bias
+	params []*nn.Param
+}
+
+// NewProjection returns a model for embeddings of the given dimension with
+// K tensor slices.
+func NewProjection(dim, k int, seed int64) *Projection {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Projection{Dim: dim, K: k}
+	for i := 0; i < k; i++ {
+		t := nn.NewParamXavier("proj.T", dim, dim, rng)
+		p.T = append(p.T, t)
+	}
+	p.W = nn.NewParamXavier("proj.W", 1, k, rng)
+	p.B = nn.NewParam("proj.b", 1, 1)
+	p.params = append(append([]*nn.Param{}, p.T...), p.W, p.B)
+	return p
+}
+
+// Params returns the trainable parameters.
+func (p *Projection) Params() []*nn.Param { return p.params }
+
+// Score returns the hypernymy probability for (hypo, hyper) embeddings.
+func (p *Projection) Score(hypo, hyper mat.Vec) float64 {
+	z := p.B.W.Data[0]
+	for k := 0; k < p.K; k++ {
+		s := hypo.Dot(p.T[k].W.MulVec(hyper))
+		z += p.W.W.Data[k] * s
+	}
+	return mat.Sigmoid(z)
+}
+
+// TrainStep accumulates gradients for one example and returns its loss.
+// label is 1 for a true hypernym pair, 0 otherwise.
+func (p *Projection) TrainStep(hypo, hyper mat.Vec, label float64) float64 {
+	s := make(mat.Vec, p.K)
+	th := make([]mat.Vec, p.K) // T_k · hyper, reused in backward
+	z := p.B.W.Data[0]
+	for k := 0; k < p.K; k++ {
+		th[k] = p.T[k].W.MulVec(hyper)
+		s[k] = hypo.Dot(th[k])
+		z += p.W.W.Data[k] * s[k]
+	}
+	y := mat.Sigmoid(z)
+	dz := y - label
+	for k := 0; k < p.K; k++ {
+		p.W.G.Data[k] += dz * s[k]
+		p.T[k].G.AddOuter(dz*p.W.W.Data[k], hypo, hyper)
+	}
+	p.B.G.Data[0] += dz
+	eps := 1e-12
+	if label > 0.5 {
+		return -math.Log(y + eps)
+	}
+	return -math.Log(1 - y + eps)
+}
+
+// Example is one labeled (hyponym, hypernym) training pair in embedding
+// space, with IDs kept for bookkeeping.
+type Example struct {
+	HypoID, HyperID int
+	Hypo, Hyper     mat.Vec
+	Label           bool
+}
+
+// Fit trains the model with Adam over the examples for the given epochs.
+// Deterministic for a fixed seed.
+func (p *Projection) Fit(examples []Example, epochs int, lr float64, batch int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	opt := nn.NewAdam(lr, 5)
+	if batch <= 0 {
+		batch = 32
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(len(examples))
+		var total float64
+		for i, pi := range perm {
+			ex := examples[pi]
+			lbl := 0.0
+			if ex.Label {
+				lbl = 1
+			}
+			total += p.TrainStep(ex.Hypo, ex.Hyper, lbl)
+			if (i+1)%batch == 0 || i == len(perm)-1 {
+				opt.Step(p.params)
+			}
+		}
+		last = total / float64(max(1, len(examples)))
+	}
+	return last
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package inference
+
+import (
+	"testing"
+
+	"alicoco/internal/core"
+	"alicoco/internal/pipeline"
+)
+
+func buildNet(t *testing.T) *pipeline.Artifacts {
+	t.Helper()
+	a, err := pipeline.Build(pipeline.TinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestInferImplicitRelations(t *testing.T) {
+	a := buildNet(t)
+	m := NewMiner(a.Net, DefaultConfig())
+	rels := m.InferAll()
+	if len(rels) == 0 {
+		t.Fatal("no implicit relations inferred")
+	}
+	for _, r := range rels {
+		if r.Lift < 2.0 || r.Coverage < 0.3 {
+			t.Fatalf("thresholds violated: %+v", r)
+		}
+		nd, _ := a.Net.Node(r.Primitive)
+		if nd.Domain == "Category" || nd.Domain == "Brand" {
+			t.Fatalf("inadmissible domain %s inferred", nd.Domain)
+		}
+		// Must not duplicate an existing interpretation.
+		for _, he := range a.Net.Out(r.Concept, core.EdgeInterpretedBy) {
+			if he.Peer == r.Primitive && he.Rel == "" {
+				t.Fatal("inferred relation duplicates an explicit one")
+			}
+		}
+	}
+}
+
+// The planted world guarantees an analogue of the paper's example: the
+// "keep warm for kids" concept's items are winter categories, so a Function
+// or Material concentration should surface for some concept.
+func TestInferenceFindsMeaningfulConcentrations(t *testing.T) {
+	a := buildNet(t)
+	m := NewMiner(a.Net, Config{MinLift: 1.5, MinCoverage: 0.25, MinItems: 4})
+	found := false
+	for _, c := range a.Net.NodesOfKind(core.KindEConcept) {
+		rels := m.InferConcept(c)
+		if len(rels) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no concept has any attribute concentration")
+	}
+}
+
+func TestInferConceptSkipsSmallConcepts(t *testing.T) {
+	a := buildNet(t)
+	cfg := DefaultConfig()
+	cfg.MinItems = 1 << 30
+	m := NewMiner(a.Net, cfg)
+	if rels := m.InferAll(); len(rels) != 0 {
+		t.Fatalf("MinItems not respected: %d relations", len(rels))
+	}
+}
+
+func TestDomainRestriction(t *testing.T) {
+	a := buildNet(t)
+	cfg := Config{MinLift: 1.2, MinCoverage: 0.2, MinItems: 4, Domains: []string{"Function"}}
+	m := NewMiner(a.Net, cfg)
+	for _, r := range m.InferAll() {
+		if r.Domain != "Function" {
+			t.Fatalf("domain restriction violated: %+v", r)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	a := buildNet(t)
+	m := NewMiner(a.Net, DefaultConfig())
+	rels := m.InferAll()
+	if len(rels) == 0 {
+		t.Skip("nothing to materialize in tiny world")
+	}
+	before := a.Net.NumEdges()
+	added, err := m.Materialize(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(rels) {
+		t.Fatalf("added %d of %d", added, len(rels))
+	}
+	if a.Net.NumEdges() != before+added {
+		t.Fatal("edge count mismatch after materialize")
+	}
+	// Materialized edges are queryable and tagged "implied".
+	r := rels[0]
+	foundImplied := false
+	for _, he := range a.Net.Out(r.Concept, core.EdgeInterpretedBy) {
+		if he.Peer == r.Primitive && he.Rel == "implied" {
+			foundImplied = true
+			if he.Weight > 0.99 {
+				t.Fatal("implied weight should be capped below manual edges")
+			}
+		}
+	}
+	if !foundImplied {
+		t.Fatal("materialized edge not found")
+	}
+	// Idempotent: re-materializing updates weights, adds no edges.
+	before = a.Net.NumEdges()
+	if _, err := m.Materialize(rels); err != nil {
+		t.Fatal(err)
+	}
+	if a.Net.NumEdges() != before {
+		t.Fatal("re-materialize duplicated edges")
+	}
+}
+
+func TestRelationsSortedByLift(t *testing.T) {
+	a := buildNet(t)
+	m := NewMiner(a.Net, Config{MinLift: 1.2, MinCoverage: 0.2, MinItems: 4})
+	for _, c := range a.Net.NodesOfKind(core.KindEConcept) {
+		rels := m.InferConcept(c)
+		for i := 1; i < len(rels); i++ {
+			if rels[i].Lift > rels[i-1].Lift {
+				t.Fatal("relations not sorted by lift")
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package matching implements concept-item association (Section 6): the
+// knowledge-aware deep semantic matching model of Figure 8 plus the
+// baselines of Table 6 (BM25, DSSM, MatchPyramid, RE2). All deep models
+// share frozen word embeddings and hand-derived backward passes.
+package matching
+
+import (
+	"math"
+
+	"alicoco/internal/mat"
+)
+
+// attnPool computes the two-way attention pooling of Figure 8 over encoded
+// sequences A and B: e_ij = A_i·B_j/√d, row sums are softmaxed into weights
+// over A, giving c = Σ α_i A_i. It returns the pooled vector, the attention
+// weights, and a backward closure that accumulates gradients into dA and dB.
+func attnPool(a, b []mat.Vec) (mat.Vec, mat.Vec, func(dc mat.Vec, dA, dB []mat.Vec)) {
+	m, l := len(a), len(b)
+	if m == 0 || l == 0 {
+		dim := 0
+		if m > 0 {
+			dim = len(a[0])
+		} else if l > 0 {
+			dim = len(b[0])
+		}
+		return mat.NewVec(dim), nil, func(mat.Vec, []mat.Vec, []mat.Vec) {}
+	}
+	scale := 1 / math.Sqrt(float64(len(a[0])))
+	e := make([][]float64, m)
+	r := make(mat.Vec, m)
+	for i := 0; i < m; i++ {
+		e[i] = make([]float64, l)
+		for j := 0; j < l; j++ {
+			e[i][j] = a[i].Dot(b[j]) * scale
+			r[i] += e[i][j]
+		}
+	}
+	alpha := mat.Softmax(r)
+	c := mat.NewVec(len(a[0]))
+	for i := 0; i < m; i++ {
+		c.AddScaled(alpha[i], a[i])
+	}
+	back := func(dc mat.Vec, dA, dB []mat.Vec) {
+		dAlpha := make(mat.Vec, m)
+		for i := 0; i < m; i++ {
+			dAlpha[i] = dc.Dot(a[i])
+			dA[i].AddScaled(alpha[i], dc)
+		}
+		// softmax backward
+		dot := 0.0
+		for i := 0; i < m; i++ {
+			dot += alpha[i] * dAlpha[i]
+		}
+		for i := 0; i < m; i++ {
+			dr := alpha[i] * (dAlpha[i] - dot)
+			for j := 0; j < l; j++ {
+				de := dr * scale
+				dA[i].AddScaled(de, b[j])
+				dB[j].AddScaled(de, a[i])
+			}
+		}
+	}
+	return c, alpha, back
+}
+
+// gridPool adaptively max-pools the similarity matrix M_ij = A_i·B_j into a
+// rows×cols feature grid (the MatchPyramid pooling). It returns the flat
+// features and a backward closure.
+func gridPool(a, b []mat.Vec, rows, cols int) (mat.Vec, func(df mat.Vec, dA, dB []mat.Vec)) {
+	m, l := len(a), len(b)
+	feats := mat.NewVec(rows * cols)
+	type cell struct{ i, j int }
+	argmax := make([]cell, rows*cols)
+	for g := range argmax {
+		argmax[g] = cell{-1, -1}
+	}
+	if m == 0 || l == 0 {
+		return feats, func(mat.Vec, []mat.Vec, []mat.Vec) {}
+	}
+	for g := 0; g < rows*cols; g++ {
+		feats[g] = math.Inf(-1)
+	}
+	for i := 0; i < m; i++ {
+		gr := i * rows / m
+		for j := 0; j < l; j++ {
+			gc := j * cols / l
+			g := gr*cols + gc
+			v := a[i].Dot(b[j])
+			if v > feats[g] {
+				feats[g] = v
+				argmax[g] = cell{i, j}
+			}
+		}
+	}
+	for g := range feats {
+		if math.IsInf(feats[g], -1) {
+			feats[g] = 0
+		}
+	}
+	back := func(df mat.Vec, dA, dB []mat.Vec) {
+		for g, cl := range argmax {
+			if cl.i < 0 {
+				continue
+			}
+			dA[cl.i].AddScaled(df[g], b[cl.j])
+			dB[cl.j].AddScaled(df[g], a[cl.i])
+		}
+	}
+	return feats, back
+}
+
+// alignOnto computes, for each vector of a, the attention-weighted average
+// of b (cross alignment, the core of RE2). Returns aligned vectors and a
+// backward closure.
+func alignOnto(a, b []mat.Vec) ([]mat.Vec, func(dAligned []mat.Vec, dA, dB []mat.Vec)) {
+	m, l := len(a), len(b)
+	if m == 0 || l == 0 {
+		out := make([]mat.Vec, m)
+		for i := range out {
+			out[i] = mat.NewVec(dimOf(a, b))
+		}
+		return out, func([]mat.Vec, []mat.Vec, []mat.Vec) {}
+	}
+	scale := 1 / math.Sqrt(float64(len(a[0])))
+	attn := make([]mat.Vec, m)
+	out := make([]mat.Vec, m)
+	for i := 0; i < m; i++ {
+		e := make(mat.Vec, l)
+		for j := 0; j < l; j++ {
+			e[j] = a[i].Dot(b[j]) * scale
+		}
+		attn[i] = mat.Softmax(e)
+		o := mat.NewVec(len(b[0]))
+		for j := 0; j < l; j++ {
+			o.AddScaled(attn[i][j], b[j])
+		}
+		out[i] = o
+	}
+	back := func(dAligned []mat.Vec, dA, dB []mat.Vec) {
+		for i := 0; i < m; i++ {
+			da := make(mat.Vec, l)
+			for j := 0; j < l; j++ {
+				da[j] = dAligned[i].Dot(b[j])
+				dB[j].AddScaled(attn[i][j], dAligned[i])
+			}
+			dot := 0.0
+			for j := 0; j < l; j++ {
+				dot += attn[i][j] * da[j]
+			}
+			for j := 0; j < l; j++ {
+				de := attn[i][j] * (da[j] - dot) * scale
+				dA[i].AddScaled(de, b[j])
+				dB[j].AddScaled(de, a[i])
+			}
+		}
+	}
+	return out, back
+}
+
+func dimOf(a, b []mat.Vec) int {
+	if len(a) > 0 {
+		return len(a[0])
+	}
+	if len(b) > 0 {
+		return len(b[0])
+	}
+	return 0
+}
+
+func zeroSeq(n, dim int) []mat.Vec {
+	out := make([]mat.Vec, n)
+	for i := range out {
+		out[i] = mat.NewVec(dim)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package matching
+
+import (
+	"math/rand"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/nn"
+)
+
+// KADSM is "ours": the knowledge-aware deep semantic matching model of
+// Figure 8. Both sides are encoded with wide CNNs, pooled through two-way
+// attention, combined with a matching-pyramid grid over the encoded
+// sequences, and classified by an MLP. With Knowledge enabled, the concept
+// side is extended with the gloss vectors of its linked primitive concepts —
+// the bridge that fixes semantic-drift pairs (Mid-Autumn Festival → moon
+// cakes).
+type KADSM struct {
+	embed      func(string) mat.Vec
+	knowledge  func(concept []string) []mat.Vec // nil disables the knowledge sequence
+	dim        int
+	rows, cols int
+
+	convA, convB *nn.Conv1D
+	gridFC       *nn.Dense
+	h1, h2       *nn.Dense
+	params       []*nn.Param
+	opt          *nn.Adam
+	cfg          TrainConfig
+}
+
+// NewKADSM builds the model. knowledge may be nil (the "Ours" row of
+// Table 6); non-nil enables the "Ours + Knowledge" row.
+func NewKADSM(embed func(string) mat.Vec, knowledge func([]string) []mat.Vec, dim int, cfg TrainConfig) *KADSM {
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	k := &KADSM{embed: embed, knowledge: knowledge, dim: dim, rows: 4, cols: 4, cfg: cfg}
+	enc := 24
+	k.convA = nn.NewConv1D("kadsm.convA", dim, enc, 1, nn.Tanh, rng)
+	k.convB = nn.NewConv1D("kadsm.convB", dim, enc, 1, nn.Tanh, rng)
+	k.gridFC = nn.NewDense("kadsm.grid", 2*k.rows*k.cols, 12, nn.Tanh, rng)
+	k.h1 = nn.NewDense("kadsm.h1", enc+enc+12+2*dim, 24, nn.Tanh, rng)
+	k.h2 = nn.NewDense("kadsm.h2", 24, 1, nn.Identity, rng)
+	k.params = nn.CollectParams(k.convA, k.convB, k.gridFC, k.h1, k.h2)
+	k.opt = nn.NewAdam(cfg.LR, 5)
+	return k
+}
+
+// Name implements Matcher.
+func (k *KADSM) Name() string {
+	if k.knowledge != nil {
+		return "Ours+Knowledge"
+	}
+	return "Ours"
+}
+
+func (k *KADSM) forward(concept, title []string) (float64, func(float64)) {
+	a := embedSeq(k.embed, concept)
+	if k.knowledge != nil {
+		a = append(a, k.knowledge(concept)...)
+	}
+	b := embedSeq(k.embed, title)
+	if len(a) == 0 {
+		a = zeroSeq(1, k.dim)
+	}
+	if len(b) == 0 {
+		b = zeroSeq(1, k.dim)
+	}
+	aEnc, aCache := k.convA.Forward(a)
+	bEnc, bCache := k.convB.Forward(b)
+
+	c, _, backC := attnPool(aEnc, bEnc)
+	iv, _, backI := attnPool(bEnc, aEnc)
+	// Frozen-feature attention pools over the raw sequences give the head
+	// immediately informative inputs while the CNNs train.
+	cRaw, _, _ := attnPool(a, b)
+	ivRaw, _, _ := attnPool(b, a)
+	// Two matching-pyramid layers (Equation 16's K layers): one over the
+	// raw embedding+knowledge sequences, one over the CNN encodings.
+	gridRaw, _ := gridPool(a, b, k.rows, k.cols) // inputs frozen
+	gridEnc, backG := gridPool(aEnc, bEnc, k.rows, k.cols)
+	gf, gfCache := k.gridFC.Forward(mat.Concat(gridRaw, gridEnc))
+
+	h, c1 := k.h1.Forward(mat.Concat(c, iv, gf, cRaw, ivRaw))
+	logit, c2 := k.h2.Forward(h)
+	score := mat.Sigmoid(logit[0])
+
+	back := func(dLogit float64) {
+		dh := k.h2.Backward(mat.Vec{dLogit}, c2)
+		dcat := k.h1.Backward(dh, c1)
+		enc := len(c)
+		dc := mat.Vec(dcat[:enc])
+		di := mat.Vec(dcat[enc : 2*enc])
+		dgf := mat.Vec(dcat[2*enc : 2*enc+len(gf)])
+
+		dA := zeroSeq(len(aEnc), enc)
+		dB := zeroSeq(len(bEnc), enc)
+		backC(dc, dA, dB)
+		backI(di, dB, dA) // note swapped roles
+		dGrid := k.gridFC.Backward(dgf, gfCache)
+		backG(mat.Vec(dGrid[k.rows*k.cols:]), dA, dB) // raw-grid half hits frozen inputs
+
+		k.convA.Backward(dA, aCache)
+		k.convB.Backward(dB, bCache)
+	}
+	return score, back
+}
+
+// Train implements Matcher.
+func (k *KADSM) Train(pairs []Pair) { trainLogistic(k.forward, k.params, k.opt, pairs, k.cfg) }
+
+// Score implements Matcher.
+func (k *KADSM) Score(concept, title []string) float64 {
+	s, _ := k.forward(concept, title)
+	nn.ZeroGrads(k.params)
+	return s
+}

@@ -1,0 +1,370 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/nn"
+)
+
+// Pair is one labeled (concept phrase, item title) example.
+type Pair struct {
+	Concept []string
+	Title   []string
+	Label   bool
+	// FrameID / ItemID are kept for grouped evaluation (P@10 per concept).
+	FrameID, ItemID int
+}
+
+// Matcher scores concept-item pairs.
+type Matcher interface {
+	Name() string
+	Train(pairs []Pair)
+	Score(concept, title []string) float64
+}
+
+// ---------------------------------------------------------------- BM25 ----
+
+// BM25 is the lexical baseline of Table 6: the concept is the query, the
+// item title the document.
+type BM25 struct {
+	K1, B  float64
+	idf    map[string]float64
+	avgLen float64
+}
+
+// NewBM25 returns a BM25 matcher with the usual parameters.
+func NewBM25() *BM25 { return &BM25{K1: 1.2, B: 0.75} }
+
+// Name implements Matcher.
+func (b *BM25) Name() string { return "BM25" }
+
+// Train computes document statistics over the training titles.
+func (b *BM25) Train(pairs []Pair) {
+	df := make(map[string]int)
+	docs := 0
+	var totalLen float64
+	seen := make(map[string]bool)
+	for _, p := range pairs {
+		key := strings.Join(p.Title, " ")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		docs++
+		totalLen += float64(len(p.Title))
+		uniq := make(map[string]bool)
+		for _, w := range p.Title {
+			uniq[w] = true
+		}
+		for w := range uniq {
+			df[w]++
+		}
+	}
+	b.idf = make(map[string]float64, len(df))
+	for w, d := range df {
+		b.idf[w] = math.Log(1 + (float64(docs)-float64(d)+0.5)/(float64(d)+0.5))
+	}
+	if docs > 0 {
+		b.avgLen = totalLen / float64(docs)
+	}
+}
+
+// Score implements Matcher.
+func (b *BM25) Score(concept, title []string) float64 {
+	tf := make(map[string]float64)
+	for _, w := range title {
+		tf[w]++
+	}
+	var s float64
+	dl := float64(len(title))
+	for _, q := range concept {
+		f := tf[q]
+		if f == 0 {
+			continue
+		}
+		idf := b.idf[q]
+		if idf == 0 {
+			idf = 0.1
+		}
+		denom := f + b.K1*(1-b.B+b.B*dl/math.Max(b.avgLen, 1))
+		s += idf * f * (b.K1 + 1) / denom
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- DSSM ----
+
+// DSSM is the two-tower deep structured semantic model baseline: each side
+// is a bag-of-embeddings passed through dense layers; the score is the
+// scaled cosine of the tower outputs.
+type DSSM struct {
+	embed  func(string) mat.Vec
+	dim    int
+	towerA *nn.Dense
+	towerB *nn.Dense
+	outA   *nn.Dense
+	outB   *nn.Dense
+	scaleW *nn.Param
+	params []*nn.Param
+	opt    *nn.Adam
+	cfg    TrainConfig
+}
+
+// TrainConfig controls deep matcher training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// DefaultTrainConfig returns settings shared by the deep matchers.
+func DefaultTrainConfig() TrainConfig { return TrainConfig{Epochs: 3, LR: 0.01, Seed: 41} }
+
+// NewDSSM builds the model over frozen embeddings of dimension dim.
+func NewDSSM(embed func(string) mat.Vec, dim int, cfg TrainConfig) *DSSM {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &DSSM{embed: embed, dim: dim, cfg: cfg}
+	hidden := 24
+	d.towerA = nn.NewDense("dssm.a1", dim, hidden, nn.Tanh, rng)
+	d.outA = nn.NewDense("dssm.a2", hidden, 16, nn.Tanh, rng)
+	d.towerB = nn.NewDense("dssm.b1", dim, hidden, nn.Tanh, rng)
+	d.outB = nn.NewDense("dssm.b2", hidden, 16, nn.Tanh, rng)
+	d.scaleW = nn.NewParam("dssm.scale", 1, 1)
+	d.scaleW.W.Data[0] = 5
+	d.params = append(nn.CollectParams(d.towerA, d.outA, d.towerB, d.outB), d.scaleW)
+	d.opt = nn.NewAdam(cfg.LR, 5)
+	return d
+}
+
+// Name implements Matcher.
+func (d *DSSM) Name() string { return "DSSM" }
+
+func (d *DSSM) bag(tokens []string) mat.Vec {
+	out := mat.NewVec(d.dim)
+	for _, w := range tokens {
+		out.Add(d.embed(w))
+	}
+	if len(tokens) > 0 {
+		out.Scale(1 / float64(len(tokens)))
+	}
+	return out
+}
+
+// forward returns the score and backward closure for one pair.
+func (d *DSSM) forward(concept, title []string) (float64, func(dLogit float64)) {
+	xa, xb := d.bag(concept), d.bag(title)
+	h1, c1 := d.towerA.Forward(xa)
+	va, c2 := d.outA.Forward(h1)
+	h2, c3 := d.towerB.Forward(xb)
+	vb, c4 := d.outB.Forward(h2)
+	na, nb := va.Norm(), vb.Norm()
+	cos := 0.0
+	if na > 0 && nb > 0 {
+		cos = va.Dot(vb) / (na * nb)
+	}
+	scale := d.scaleW.W.Data[0]
+	score := mat.Sigmoid(scale * cos)
+	back := func(dLogit float64) {
+		d.scaleW.G.Data[0] += dLogit * cos
+		dcos := dLogit * scale
+		if na > 0 && nb > 0 {
+			dva := make(mat.Vec, len(va))
+			dvb := make(mat.Vec, len(vb))
+			for i := range va {
+				dva[i] = dcos * (vb[i]/(na*nb) - cos*va[i]/(na*na))
+				dvb[i] = dcos * (va[i]/(na*nb) - cos*vb[i]/(nb*nb))
+			}
+			dh1 := d.outA.Backward(dva, c2)
+			d.towerA.Backward(dh1, c1)
+			dh2 := d.outB.Backward(dvb, c4)
+			d.towerB.Backward(dh2, c3)
+		}
+	}
+	return score, back
+}
+
+// Train implements Matcher.
+func (d *DSSM) Train(pairs []Pair) { trainLogistic(d.forward, d.params, d.opt, pairs, d.cfg) }
+
+// Score implements Matcher.
+func (d *DSSM) Score(concept, title []string) float64 {
+	s, _ := d.forward(concept, title)
+	nn.ZeroGrads(d.params)
+	return s
+}
+
+// trainLogistic is the shared point-wise BCE training loop.
+func trainLogistic(forward func(c, t []string) (float64, func(float64)), params []*nn.Param, opt *nn.Adam, pairs []Pair, cfg TrainConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(pairs))
+		for _, pi := range perm {
+			p := pairs[pi]
+			score, back := forward(p.Concept, p.Title)
+			y := 0.0
+			if p.Label {
+				y = 1
+			}
+			back(score - y)
+			opt.Step(params)
+		}
+	}
+}
+
+// -------------------------------------------------------- MatchPyramid ----
+
+// MatchPyramid pools the word-word similarity matrix into a fixed grid and
+// classifies it with an MLP (Pang et al., simplified to adaptive pooling).
+type MatchPyramid struct {
+	embed  func(string) mat.Vec
+	dim    int
+	rows   int
+	cols   int
+	h1, h2 *nn.Dense
+	params []*nn.Param
+	opt    *nn.Adam
+	cfg    TrainConfig
+}
+
+// NewMatchPyramid builds the model over frozen embeddings.
+func NewMatchPyramid(embed func(string) mat.Vec, dim int, cfg TrainConfig) *MatchPyramid {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	m := &MatchPyramid{embed: embed, dim: dim, rows: 3, cols: 3, cfg: cfg}
+	m.h1 = nn.NewDense("mp.h1", m.rows*m.cols, 16, nn.Tanh, rng)
+	m.h2 = nn.NewDense("mp.h2", 16, 1, nn.Identity, rng)
+	m.params = nn.CollectParams(m.h1, m.h2)
+	m.opt = nn.NewAdam(cfg.LR, 5)
+	return m
+}
+
+// Name implements Matcher.
+func (m *MatchPyramid) Name() string { return "MatchPyramid" }
+
+func (m *MatchPyramid) forward(concept, title []string) (float64, func(float64)) {
+	a := embedSeq(m.embed, concept)
+	b := embedSeq(m.embed, title)
+	feats, _ := gridPool(a, b, m.rows, m.cols)
+	h, c1 := m.h1.Forward(feats)
+	logit, c2 := m.h2.Forward(h)
+	score := mat.Sigmoid(logit[0])
+	back := func(dLogit float64) {
+		dh := m.h2.Backward(mat.Vec{dLogit}, c2)
+		m.h1.Backward(dh, c1) // embeddings frozen: grid grads not propagated
+	}
+	return score, back
+}
+
+// Train implements Matcher.
+func (m *MatchPyramid) Train(pairs []Pair) { trainLogistic(m.forward, m.params, m.opt, pairs, m.cfg) }
+
+// Score implements Matcher.
+func (m *MatchPyramid) Score(concept, title []string) float64 {
+	s, _ := m.forward(concept, title)
+	nn.ZeroGrads(m.params)
+	return s
+}
+
+func embedSeq(embed func(string) mat.Vec, tokens []string) []mat.Vec {
+	out := make([]mat.Vec, len(tokens))
+	for i, w := range tokens {
+		out[i] = embed(w)
+	}
+	return out
+}
+
+// ----------------------------------------------------------------- RE2 ----
+
+// RE2 is the alignment-and-fusion baseline (Yang et al., simplified): each
+// side is aligned onto the other, fused as [x; aligned; x−aligned; x⊙aligned]
+// through a dense layer, max-pooled, and classified.
+type RE2 struct {
+	embed  func(string) mat.Vec
+	dim    int
+	fuse   *nn.Dense
+	h1, h2 *nn.Dense
+	params []*nn.Param
+	opt    *nn.Adam
+	cfg    TrainConfig
+}
+
+// NewRE2 builds the model over frozen embeddings.
+func NewRE2(embed func(string) mat.Vec, dim int, cfg TrainConfig) *RE2 {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	r := &RE2{embed: embed, dim: dim, cfg: cfg}
+	fdim := 16
+	r.fuse = nn.NewDense("re2.fuse", 4*dim, fdim, nn.Tanh, rng)
+	r.h1 = nn.NewDense("re2.h1", 2*fdim, 16, nn.Tanh, rng)
+	r.h2 = nn.NewDense("re2.h2", 16, 1, nn.Identity, rng)
+	r.params = nn.CollectParams(r.fuse, r.h1, r.h2)
+	r.opt = nn.NewAdam(cfg.LR, 5)
+	return r
+}
+
+// Name implements Matcher.
+func (r *RE2) Name() string { return "RE2" }
+
+// sideEncode aligns a onto b and fuse-pools, returning the pooled vector and
+// backward closure for the fuse layer (embeddings frozen).
+func (r *RE2) sideEncode(a, b []mat.Vec) (mat.Vec, func(dPool mat.Vec)) {
+	aligned, _ := alignOnto(a, b)
+	fused := make([]mat.Vec, len(a))
+	caches := make([]*nn.DenseCache, len(a))
+	for i := range a {
+		diff := a[i].Clone()
+		diff.AddScaled(-1, aligned[i])
+		prod := a[i].Clone()
+		prod.Hadamard(aligned[i])
+		in := mat.Concat(a[i], aligned[i], diff, prod)
+		fused[i], caches[i] = r.fuse.Forward(in)
+	}
+	pooled, pc := nn.MaxPool(fused)
+	if pooled == nil {
+		pooled = mat.NewVec(r.fuse.Out)
+	}
+	back := func(dPool mat.Vec) {
+		if pc == nil || len(fused) == 0 {
+			return
+		}
+		dFused := nn.MaxPoolBackward(dPool, pc)
+		for i := range dFused {
+			r.fuse.Backward(dFused[i], caches[i])
+		}
+	}
+	return pooled, back
+}
+
+func (r *RE2) forward(concept, title []string) (float64, func(float64)) {
+	a := embedSeq(r.embed, concept)
+	b := embedSeq(r.embed, title)
+	pa, backA := r.sideEncode(a, b)
+	pb, backB := r.sideEncode(b, a)
+	h, c1 := r.h1.Forward(mat.Concat(pa, pb))
+	logit, c2 := r.h2.Forward(h)
+	score := mat.Sigmoid(logit[0])
+	back := func(dLogit float64) {
+		dh := r.h2.Backward(mat.Vec{dLogit}, c2)
+		dcat := r.h1.Backward(dh, c1)
+		backA(mat.Vec(dcat[:len(pa)]))
+		backB(mat.Vec(dcat[len(pa):]))
+	}
+	return score, back
+}
+
+// Train implements Matcher.
+func (r *RE2) Train(pairs []Pair) { trainLogistic(r.forward, r.params, r.opt, pairs, r.cfg) }
+
+// Score implements Matcher.
+func (r *RE2) Score(concept, title []string) float64 {
+	s, _ := r.forward(concept, title)
+	nn.ZeroGrads(r.params)
+	return s
+}
+
+// sortPairsByScore is a helper for grouped evaluation.
+func sortPairsByScore(idx []int, scores []float64) {
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+}

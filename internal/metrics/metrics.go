@@ -1,0 +1,233 @@
+// Package metrics implements the evaluation measures used throughout the
+// paper's Section 7: MAP, MRR, precision-at-k for ranking (hypernym
+// discovery), AUC and F1 for classification and matching, and span-level
+// precision/recall/F1 for sequence labeling.
+package metrics
+
+import "sort"
+
+// Ranking holds one query's ranked candidate relevance judgments, best
+// score first.
+type Ranking struct {
+	Relevant []bool // Relevant[i] = candidate at rank i is a true positive
+}
+
+// AveragePrecision returns AP for one ranking (0 if no relevant items).
+func (r Ranking) AveragePrecision() float64 {
+	var hits, sum float64
+	for i, rel := range r.Relevant {
+		if rel {
+			hits++
+			sum += hits / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / hits
+}
+
+// ReciprocalRank returns 1/rank of the first relevant item (0 if none).
+func (r Ranking) ReciprocalRank() float64 {
+	for i, rel := range r.Relevant {
+		if rel {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// PrecisionAt returns the fraction of relevant items in the top k.
+func (r Ranking) PrecisionAt(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := k
+	if n > len(r.Relevant) {
+		n = len(r.Relevant)
+	}
+	if n == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Relevant[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MAP returns the mean average precision over queries.
+func MAP(rankings []Ranking) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rankings {
+		s += r.AveragePrecision()
+	}
+	return s / float64(len(rankings))
+}
+
+// MRR returns the mean reciprocal rank over queries.
+func MRR(rankings []Ranking) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rankings {
+		s += r.ReciprocalRank()
+	}
+	return s / float64(len(rankings))
+}
+
+// MeanPrecisionAt returns mean P@k over queries.
+func MeanPrecisionAt(rankings []Ranking, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rankings {
+		s += r.PrecisionAt(k)
+	}
+	return s / float64(len(rankings))
+}
+
+// RankScores builds a Ranking by sorting candidates by score descending.
+// Ties break by original order (stable).
+func RankScores(scores []float64, labels []bool) Ranking {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	rel := make([]bool, len(idx))
+	for rank, i := range idx {
+		rel[rank] = labels[i]
+	}
+	return Ranking{Relevant: rel}
+}
+
+// AUC returns the area under the ROC curve for scored binary labels,
+// handling ties by assigning half credit. Returns 0.5 when one class is
+// absent.
+func AUC(scores []float64, labels []bool) float64 {
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].s < ps[b].s })
+	// Rank-sum (Mann-Whitney) with average ranks for ties.
+	ranks := make([]float64, len(ps))
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var sumPos float64
+	for i, p := range ps {
+		if p.pos {
+			sumPos += ranks[i]
+		}
+	}
+	return (sumPos - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// Confusion counts binary classification outcomes.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// SpanKey identifies a labeled span for span-level scoring.
+type SpanKey struct {
+	Start, End int
+	Label      string
+}
+
+// SpanPRF1 computes span-level precision/recall/F1 between predicted and
+// gold span sets (exact boundary + label match), accumulating into c.
+func SpanPRF1(c *Confusion, pred, gold []SpanKey) {
+	goldSet := make(map[SpanKey]bool, len(gold))
+	for _, g := range gold {
+		goldSet[g] = true
+	}
+	matched := 0
+	for _, p := range pred {
+		if goldSet[p] {
+			c.TP++
+			matched++
+			delete(goldSet, p)
+		} else {
+			c.FP++
+		}
+	}
+	c.FN += len(gold) - matched
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAveragePrecision(t *testing.T) {
+	r := Ranking{Relevant: []bool{true, false, true}}
+	// AP = (1/1 + 2/3) / 2
+	if !almost(r.AveragePrecision(), (1.0+2.0/3.0)/2) {
+		t.Fatalf("AP: got %v", r.AveragePrecision())
+	}
+	if (Ranking{}).AveragePrecision() != 0 {
+		t.Fatal("empty AP should be 0")
+	}
+	if (Ranking{Relevant: []bool{false, false}}).AveragePrecision() != 0 {
+		t.Fatal("no-relevant AP should be 0")
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	if !almost((Ranking{Relevant: []bool{false, false, true}}).ReciprocalRank(), 1.0/3) {
+		t.Fatal("RR wrong")
+	}
+	if (Ranking{Relevant: []bool{false}}).ReciprocalRank() != 0 {
+		t.Fatal("RR with no hit should be 0")
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	r := Ranking{Relevant: []bool{true, false, true, true}}
+	if !almost(r.PrecisionAt(1), 1) {
+		t.Fatal("P@1 wrong")
+	}
+	if !almost(r.PrecisionAt(3), 2.0/3) {
+		t.Fatal("P@3 wrong")
+	}
+	// k beyond length counts misses.
+	if !almost(r.PrecisionAt(8), 3.0/8) {
+		t.Fatalf("P@8: got %v", r.PrecisionAt(8))
+	}
+	if r.PrecisionAt(0) != 0 {
+		t.Fatal("P@0 should be 0")
+	}
+}
+
+func TestMAPMRRMeanP(t *testing.T) {
+	rs := []Ranking{
+		{Relevant: []bool{true}},
+		{Relevant: []bool{false, true}},
+	}
+	if !almost(MAP(rs), (1.0+0.5)/2) {
+		t.Fatalf("MAP: got %v", MAP(rs))
+	}
+	if !almost(MRR(rs), (1.0+0.5)/2) {
+		t.Fatalf("MRR: got %v", MRR(rs))
+	}
+	if !almost(MeanPrecisionAt(rs, 1), 0.5) {
+		t.Fatal("mean P@1 wrong")
+	}
+	if MAP(nil) != 0 || MRR(nil) != 0 || MeanPrecisionAt(nil, 1) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestRankScores(t *testing.T) {
+	r := RankScores([]float64{0.1, 0.9, 0.5}, []bool{false, true, false})
+	if !r.Relevant[0] || r.Relevant[1] || r.Relevant[2] {
+		t.Fatalf("RankScores: got %v", r.Relevant)
+	}
+}
+
+func TestAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if !almost(AUC(scores, labels), 1) {
+		t.Fatalf("perfect AUC: got %v", AUC(scores, labels))
+	}
+	inverted := []bool{false, false, true, true}
+	if !almost(AUC(scores, inverted), 0) {
+		t.Fatalf("inverted AUC: got %v", AUC(scores, inverted))
+	}
+}
+
+func TestAUCTiesAndDegenerate(t *testing.T) {
+	// All scores tied: AUC should be 0.5.
+	if !almost(AUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false}), 0.5) {
+		t.Fatal("tied AUC should be 0.5")
+	}
+	if AUC([]float64{1, 2}, []bool{true, true}) != 0.5 {
+		t.Fatal("single-class AUC should be 0.5")
+	}
+}
+
+// Property: AUC equals the probability a random positive outranks a random
+// negative (checked by brute force).
+func TestPropertyAUCPairwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = float64(rng.Intn(6)) // deliberate ties
+			labels[i] = rng.Intn(2) == 0
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		var wins, total float64
+		for i := range scores {
+			if !labels[i] {
+				continue
+			}
+			for j := range scores {
+				if labels[j] {
+					continue
+				}
+				total++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					wins += 0.5
+				}
+			}
+		}
+		return almost(AUC(scores, labels), wins/total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, false)
+	c.Add(false, true)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if !almost(c.Precision(), 0.5) || !almost(c.Recall(), 0.5) || !almost(c.F1(), 0.5) || !almost(c.Accuracy(), 0.5) {
+		t.Fatal("PRF/accuracy wrong")
+	}
+	var empty Confusion
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 || empty.Accuracy() != 0 {
+		t.Fatal("empty confusion metrics should be 0")
+	}
+}
+
+func TestSpanPRF1(t *testing.T) {
+	var c Confusion
+	pred := []SpanKey{{0, 2, "A"}, {3, 4, "B"}}
+	gold := []SpanKey{{0, 2, "A"}, {3, 4, "C"}}
+	SpanPRF1(&c, pred, gold)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("span confusion: %+v", c)
+	}
+}
+
+func TestSpanPRF1DuplicatePredictions(t *testing.T) {
+	var c Confusion
+	pred := []SpanKey{{0, 1, "A"}, {0, 1, "A"}}
+	gold := []SpanKey{{0, 1, "A"}}
+	SpanPRF1(&c, pred, gold)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("duplicate pred should count once as TP: %+v", c)
+	}
+}

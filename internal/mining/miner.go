@@ -1,0 +1,221 @@
+// Package mining implements primitive-concept vocabulary mining
+// (Section 4.1 / 7.2 of the paper): a BiLSTM-CRF sequence labeler over the
+// 20 first-level domain labels, trained with distant supervision produced by
+// max-matching existing concepts against the corpus, then used to discover
+// new concept surface forms.
+package mining
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/nn"
+	"alicoco/internal/text"
+)
+
+// Config controls the mining model.
+type Config struct {
+	EmbDim int
+	Hidden int
+	LR     float64
+	Clip   float64
+	Epochs int
+	Seed   int64
+}
+
+// DefaultConfig returns laptop-scale hyperparameters.
+func DefaultConfig() Config {
+	return Config{EmbDim: 24, Hidden: 16, LR: 0.01, Clip: 5, Epochs: 8, Seed: 17}
+}
+
+// Miner is the BiLSTM-CRF mining model (Figure 4).
+type Miner struct {
+	cfg    Config
+	Tags   []string
+	tagIdx map[string]int
+	vocab  *text.Vocab
+	emb    *nn.Embedding
+	bi     *nn.BiLSTM
+	proj   *nn.Dense
+	crf    *nn.CRF
+	params []*nn.Param
+	opt    *nn.Adam
+}
+
+// NewMiner builds an untrained miner for the given first-level classes.
+func NewMiner(classes []string, cfg Config) *Miner {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tags, tagIdx := text.IOBLabelSet(classes)
+	m := &Miner{
+		cfg:    cfg,
+		Tags:   tags,
+		tagIdx: tagIdx,
+		vocab:  text.NewVocab(),
+	}
+	// Vocab grows during dataset construction; the embedding table is
+	// allocated afterwards in finalize.
+	_ = rng
+	return m
+}
+
+// Example is one labeled training sentence.
+type Example struct {
+	Tokens []string
+	Tags   []string
+}
+
+// BuildDistantData distantly labels corpus sentences with the segmenter's
+// lexicon, keeping only unambiguous perfect matches (Section 7.2). At most
+// maxSentences examples are returned.
+func BuildDistantData(seg *text.Segmenter, corpus [][]string, maxSentences int) []Example {
+	var out []Example
+	for _, sent := range corpus {
+		if maxSentences > 0 && len(out) >= maxSentences {
+			break
+		}
+		tags, okL := seg.DistantLabel(sent)
+		if !okL {
+			continue
+		}
+		out = append(out, Example{Tokens: sent, Tags: tags})
+	}
+	return out
+}
+
+// finalize allocates model parameters once the vocabulary is known.
+func (m *Miner) finalize() {
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.emb = nn.NewEmbedding("mine.emb", m.vocab.Len(), m.cfg.EmbDim, rng)
+	m.bi = nn.NewBiLSTM("mine.bi", m.cfg.EmbDim, m.cfg.Hidden, rng)
+	m.proj = nn.NewDense("mine.proj", m.bi.OutDim(), len(m.Tags), nn.Identity, rng)
+	m.crf = nn.NewCRF("mine.crf", len(m.Tags), rng)
+	m.params = nn.CollectParams(m.emb, m.bi, m.proj, m.crf)
+	m.opt = nn.NewAdam(m.cfg.LR, m.cfg.Clip)
+}
+
+// Train fits the model on labeled examples. It may be called once.
+func (m *Miner) Train(examples []Example) float64 {
+	for _, ex := range examples {
+		m.vocab.Encode(ex.Tokens)
+	}
+	m.vocab.Freeze()
+	m.finalize()
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
+	var lastLoss float64
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		var total float64
+		for _, pi := range perm {
+			ex := examples[pi]
+			gold := make([]int, len(ex.Tags))
+			for i, tg := range ex.Tags {
+				gold[i] = m.tagIdx[tg]
+			}
+			emits, back := m.forward(ex.Tokens)
+			loss, dEmit := m.crf.Loss(emits, gold)
+			total += loss
+			back(dEmit)
+			m.opt.Step(m.params)
+		}
+		lastLoss = total / float64(len(examples))
+	}
+	return lastLoss
+}
+
+// forward runs embedding -> BiLSTM -> projection, returning emissions and a
+// backward closure.
+func (m *Miner) forward(tokens []string) ([]mat.Vec, func([]mat.Vec)) {
+	ids := m.vocab.EncodeFixed(tokens)
+	xs := m.emb.LookupSeq(ids)
+	hs, bc := m.bi.Forward(xs)
+	emits := make([]mat.Vec, len(hs))
+	caches := make([]*nn.DenseCache, len(hs))
+	for i, h := range hs {
+		emits[i], caches[i] = m.proj.Forward(h)
+	}
+	back := func(dEmit []mat.Vec) {
+		dhs := make([]mat.Vec, len(dEmit))
+		for i := range dEmit {
+			dhs[i] = m.proj.Backward(dEmit[i], caches[i])
+		}
+		dxs := m.bi.Backward(dhs, bc)
+		m.emb.AccumulateSeq(ids, dxs)
+	}
+	return emits, back
+}
+
+// Predict returns IOB tags for a sentence.
+func (m *Miner) Predict(tokens []string) []string {
+	if m.crf == nil {
+		panic("mining: Predict before Train")
+	}
+	emits, _ := m.forward(tokens)
+	nn.ZeroGrads(m.params)
+	path, _ := m.crf.Decode(emits)
+	out := make([]string, len(path))
+	for i, k := range path {
+		out[i] = m.Tags[k]
+	}
+	return out
+}
+
+// MinedConcept is a newly discovered surface form with its predicted domain
+// and corpus support.
+type MinedConcept struct {
+	Tokens []string
+	Domain string
+	Count  int
+}
+
+// Name returns the space-joined surface form.
+func (c MinedConcept) Name() string { return strings.Join(c.Tokens, " ") }
+
+// Mine predicts over the corpus and returns surface forms not already known
+// to the lexicon. Domain votes for the same surface are aggregated and the
+// majority domain wins (ties break lexicographically); Count is the total
+// mention count across domains. Results sort by support then name. known
+// reports lexicon membership of a surface form.
+func (m *Miner) Mine(corpus [][]string, known func(string) bool) []MinedConcept {
+	votes := make(map[string]map[string]int)
+	tokensOf := make(map[string][]string)
+	for _, sent := range corpus {
+		tags := m.Predict(sent)
+		for _, sp := range text.DecodeIOB(tags) {
+			toks := sent[sp.Start:sp.End]
+			name := strings.Join(toks, " ")
+			if known(name) {
+				continue
+			}
+			if votes[name] == nil {
+				votes[name] = make(map[string]int)
+			}
+			votes[name][sp.Label]++
+			tokensOf[name] = toks
+		}
+	}
+	out := make([]MinedConcept, 0, len(votes))
+	for name, byDomain := range votes {
+		best, bestCount, total := "", -1, 0
+		domains := make([]string, 0, len(byDomain))
+		for d := range byDomain {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		for _, d := range domains {
+			total += byDomain[d]
+			if byDomain[d] > bestCount {
+				best, bestCount = d, byDomain[d]
+			}
+		}
+		out = append(out, MinedConcept{Tokens: tokensOf[name], Domain: best, Count: total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"alicoco/internal/text"
+	"alicoco/internal/world"
+)
+
+// buildMiningFixture constructs a tiny world, a lexicon with a held-out
+// fraction of primitives, and a corpus.
+func buildMiningFixture(t *testing.T) (*world.World, *text.Segmenter, map[string]world.Domain, [][]string) {
+	t.Helper()
+	cfg := world.TinyConfig()
+	cfg.ItemsPerLeaf = 5
+	w := world.New(cfg)
+	corpus := w.GenCorpus(500, 500, 250).All()
+	seg := text.NewSegmenter()
+	seg.AddStopwords(w.Stopwords()...)
+	heldOut := make(map[string]world.Domain)
+	for i, p := range w.Primitives {
+		// Hold out every 5th primitive as "new" (skip ambiguous surfaces
+		// so distant labels stay clean).
+		if len(w.BySurface[p.Name()]) > 1 {
+			continue
+		}
+		if i%5 == 0 {
+			heldOut[p.Name()] = p.Domain
+			continue
+		}
+		seg.AddPhrase(p.Tokens, string(p.Domain))
+	}
+	return w, seg, heldOut, corpus
+}
+
+func TestBuildDistantData(t *testing.T) {
+	_, seg, _, corpus := buildMiningFixture(t)
+	data := BuildDistantData(seg, corpus, 0)
+	if len(data) == 0 {
+		t.Fatal("no distant training data produced")
+	}
+	for _, ex := range data {
+		if len(ex.Tokens) != len(ex.Tags) {
+			t.Fatal("token/tag length mismatch")
+		}
+		hasB := false
+		for _, tg := range ex.Tags {
+			if strings.HasPrefix(tg, "B-") {
+				hasB = true
+			}
+		}
+		if !hasB {
+			t.Fatal("distant example with no labeled span")
+		}
+	}
+	capped := BuildDistantData(seg, corpus, 10)
+	if len(capped) != 10 {
+		t.Fatalf("maxSentences not respected: %d", len(capped))
+	}
+}
+
+func TestMinerLearnsAndMinesHeldOutConcepts(t *testing.T) {
+	_, seg, heldOut, corpus := buildMiningFixture(t)
+	data := BuildDistantData(seg, corpus, 1200)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m := NewMiner(world.DomainNames(), cfg)
+	loss := m.Train(data)
+	if loss <= 0 {
+		t.Fatalf("suspicious final loss %v", loss)
+	}
+
+	// Tagging accuracy on training data should be high (sanity).
+	correct, total := 0, 0
+	for _, ex := range data[:50] {
+		pred := m.Predict(ex.Tokens)
+		for i := range pred {
+			total++
+			if pred[i] == ex.Tags[i] {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.80 {
+		t.Fatalf("train tagging accuracy too low: %.3f", acc)
+	}
+
+	known := func(name string) bool { return seg.Len() > 0 && segHas(seg, name) }
+	mined := m.Mine(corpus, known)
+	if len(mined) == 0 {
+		t.Fatal("no new concepts mined")
+	}
+
+	// Surface precision: among the best-supported mined spans, most should
+	// be genuine held-out primitives (the rest go to the paper's manual
+	// check and are discarded).
+	top := mined
+	if len(top) > 50 {
+		top = top[:50]
+	}
+	genuine := 0
+	for _, mc := range top {
+		if _, ok := heldOut[mc.Name()]; ok {
+			genuine++
+		}
+	}
+	if prec := float64(genuine) / float64(len(top)); prec < 0.5 {
+		t.Fatalf("mined surface precision too low: %.2f (%d/%d)", prec, genuine, len(top))
+	}
+
+	// Domain precision for the Category domain, where title position gives
+	// the model real signal. (Attribute domains are positionally
+	// interchangeable in titles and legitimately confusable.)
+	catHits, catChecked := 0, 0
+	for _, mc := range mined {
+		dom, ok := heldOut[mc.Name()]
+		if !ok || mc.Domain != "Category" || mc.Count < 3 {
+			continue
+		}
+		catChecked++
+		if dom == "Category" {
+			catHits++
+		}
+	}
+	if catChecked == 0 {
+		t.Fatal("no Category concepts mined")
+	}
+	if prec := float64(catHits) / float64(catChecked); prec < 0.6 {
+		t.Fatalf("Category domain precision too low: %.2f (%d/%d)", prec, catHits, catChecked)
+	}
+}
+
+func segHas(seg *text.Segmenter, name string) bool {
+	segs := seg.MaxMatch(strings.Fields(name))
+	return len(segs) == 1 && len(segs[0].Labels) > 0
+}
+
+func TestMineSortsBySupport(t *testing.T) {
+	_, seg, _, corpus := buildMiningFixture(t)
+	data := BuildDistantData(seg, corpus, 300)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := NewMiner(world.DomainNames(), cfg)
+	m.Train(data)
+	mined := m.Mine(corpus[:300], func(string) bool { return false })
+	for i := 1; i < len(mined); i++ {
+		if mined[i].Count > mined[i-1].Count {
+			t.Fatal("mined concepts not sorted by support")
+		}
+	}
+}
+
+func TestPredictBeforeTrainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMiner(world.DomainNames(), DefaultConfig())
+	m.Predict([]string{"x"})
+}

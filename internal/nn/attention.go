@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"alicoco/internal/mat"
+)
+
+// SelfAttention is single-head scaled dot-product self-attention over a
+// sequence, used to let each token of a short concept attend to the others
+// (Figures 5, 6 and 8 of the paper).
+type SelfAttention struct {
+	In, Dk     int
+	Wq, Wk, Wv *Param
+}
+
+// NewSelfAttention returns a self-attention layer projecting inputs of dim
+// `in` to key/query/value dim `dk`; the output dim is dk.
+func NewSelfAttention(name string, in, dk int, rng *rand.Rand) *SelfAttention {
+	return &SelfAttention{
+		In: in, Dk: dk,
+		Wq: NewParamXavier(name+".Wq", dk, in, rng),
+		Wk: NewParamXavier(name+".Wk", dk, in, rng),
+		Wv: NewParamXavier(name+".Wv", dk, in, rng),
+	}
+}
+
+// Params implements Layer.
+func (s *SelfAttention) Params() []*Param { return []*Param{s.Wq, s.Wk, s.Wv} }
+
+// AttnCache holds forward state for the backward pass.
+type AttnCache struct {
+	xs      []mat.Vec
+	q, k, v []mat.Vec
+	attn    []mat.Vec // attn[i] = softmax over j
+	n       int
+}
+
+// Forward computes out_i = Σ_j softmax_j(q_i·k_j/√dk) v_j.
+func (s *SelfAttention) Forward(xs []mat.Vec) ([]mat.Vec, *AttnCache) {
+	n := len(xs)
+	c := &AttnCache{xs: xs, n: n}
+	c.q = make([]mat.Vec, n)
+	c.k = make([]mat.Vec, n)
+	c.v = make([]mat.Vec, n)
+	for i, x := range xs {
+		c.q[i] = s.Wq.W.MulVec(x)
+		c.k[i] = s.Wk.W.MulVec(x)
+		c.v[i] = s.Wv.W.MulVec(x)
+	}
+	scale := 1 / math.Sqrt(float64(s.Dk))
+	out := make([]mat.Vec, n)
+	c.attn = make([]mat.Vec, n)
+	for i := 0; i < n; i++ {
+		e := make(mat.Vec, n)
+		for j := 0; j < n; j++ {
+			e[j] = c.q[i].Dot(c.k[j]) * scale
+		}
+		a := mat.Softmax(e)
+		c.attn[i] = a
+		o := mat.NewVec(s.Dk)
+		for j := 0; j < n; j++ {
+			o.AddScaled(a[j], c.v[j])
+		}
+		out[i] = o
+	}
+	return out, c
+}
+
+// Backward accumulates projection gradients and returns input gradients.
+func (s *SelfAttention) Backward(dys []mat.Vec, c *AttnCache) []mat.Vec {
+	n := c.n
+	scale := 1 / math.Sqrt(float64(s.Dk))
+	dq := make([]mat.Vec, n)
+	dk := make([]mat.Vec, n)
+	dv := make([]mat.Vec, n)
+	for i := 0; i < n; i++ {
+		dq[i] = mat.NewVec(s.Dk)
+		dk[i] = mat.NewVec(s.Dk)
+		dv[i] = mat.NewVec(s.Dk)
+	}
+	for i := 0; i < n; i++ {
+		a := c.attn[i]
+		da := make(mat.Vec, n)
+		for j := 0; j < n; j++ {
+			da[j] = dys[i].Dot(c.v[j])
+			dv[j].AddScaled(a[j], dys[i])
+		}
+		// softmax backward: de_j = a_j*(da_j - Σ a_j' da_j')
+		dot := 0.0
+		for j := 0; j < n; j++ {
+			dot += a[j] * da[j]
+		}
+		for j := 0; j < n; j++ {
+			de := a[j] * (da[j] - dot) * scale
+			dq[i].AddScaled(de, c.k[j])
+			dk[j].AddScaled(de, c.q[i])
+		}
+	}
+	dxs := make([]mat.Vec, n)
+	for i := 0; i < n; i++ {
+		s.Wq.G.AddOuter(1, dq[i], c.xs[i])
+		s.Wk.G.AddOuter(1, dk[i], c.xs[i])
+		s.Wv.G.AddOuter(1, dv[i], c.xs[i])
+		dx := s.Wq.W.MulVecT(dq[i])
+		dx.Add(s.Wk.W.MulVecT(dk[i]))
+		dx.Add(s.Wv.W.MulVecT(dv[i]))
+		dxs[i] = dx
+	}
+	return dxs
+}

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"math/rand"
+
+	"alicoco/internal/mat"
+)
+
+// Conv1D is a 1-D convolution over a sequence of vectors with zero padding,
+// the char-level and text encoders of Figures 6 and 8. For window k (odd)
+// and input dim D it learns a (Filters)×(k·D) kernel applied at every
+// position.
+type Conv1D struct {
+	In, Filters, Window int
+	Act                 Activation
+	W, B                *Param
+}
+
+// NewConv1D returns a Glorot-initialized convolution. Window must be odd so
+// the output aligns with input positions.
+func NewConv1D(name string, in, filters, window int, act Activation, rng *rand.Rand) *Conv1D {
+	if window%2 == 0 {
+		panic("nn: Conv1D window must be odd")
+	}
+	return &Conv1D{
+		In:      in,
+		Filters: filters,
+		Window:  window,
+		Act:     act,
+		W:       NewParamXavier(name+".W", filters, window*in, rng),
+		B:       NewParam(name+".b", filters, 1),
+	}
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Conv1DCache stores forward state for the backward pass.
+type Conv1DCache struct {
+	windows []mat.Vec // concatenated (zero-padded) input windows
+	ys      []mat.Vec // activated outputs
+	n       int
+}
+
+func (c *Conv1D) window(xs []mat.Vec, t int) mat.Vec {
+	half := c.Window / 2
+	w := make(mat.Vec, 0, c.Window*c.In)
+	for off := -half; off <= half; off++ {
+		j := t + off
+		if j < 0 || j >= len(xs) {
+			w = append(w, mat.NewVec(c.In)...)
+		} else {
+			w = append(w, xs[j]...)
+		}
+	}
+	return w
+}
+
+// Forward convolves xs and returns per-position filter activations.
+func (c *Conv1D) Forward(xs []mat.Vec) ([]mat.Vec, *Conv1DCache) {
+	cache := &Conv1DCache{n: len(xs)}
+	out := make([]mat.Vec, len(xs))
+	for t := range xs {
+		w := c.window(xs, t)
+		y := c.W.W.MulVec(w)
+		for i := range y {
+			y[i] = activate(c.Act, y[i]+c.B.W.Data[i])
+		}
+		out[t] = y
+		cache.windows = append(cache.windows, w)
+		cache.ys = append(cache.ys, y)
+	}
+	return out, cache
+}
+
+// Backward accumulates kernel gradients and returns per-position input grads.
+func (c *Conv1D) Backward(dys []mat.Vec, cache *Conv1DCache) []mat.Vec {
+	dxs := make([]mat.Vec, cache.n)
+	for t := range dxs {
+		dxs[t] = mat.NewVec(c.In)
+	}
+	half := c.Window / 2
+	for t := 0; t < cache.n; t++ {
+		dz := make(mat.Vec, c.Filters)
+		for i := range dz {
+			dz[i] = dys[t][i] * activateGrad(c.Act, cache.ys[t][i])
+		}
+		c.W.G.AddOuter(1, dz, cache.windows[t])
+		c.B.G.Data.Add(dz)
+		dw := c.W.W.MulVecT(dz)
+		for off := -half; off <= half; off++ {
+			j := t + off
+			if j < 0 || j >= cache.n {
+				continue
+			}
+			seg := dw[(off+half)*c.In : (off+half+1)*c.In]
+			dxs[j].Add(mat.Vec(seg))
+		}
+	}
+	return dxs
+}
+
+// MaxPoolTime takes the element-wise maximum over a sequence, the standard
+// pooling after a convolution. The cache records argmax positions.
+type MaxPoolCache struct {
+	argmax []int
+	n, dim int
+}
+
+// MaxPool returns the per-dimension max over xs.
+func MaxPool(xs []mat.Vec) (mat.Vec, *MaxPoolCache) {
+	if len(xs) == 0 {
+		return nil, &MaxPoolCache{}
+	}
+	dim := len(xs[0])
+	out := xs[0].Clone()
+	cache := &MaxPoolCache{argmax: make([]int, dim), n: len(xs), dim: dim}
+	for t := 1; t < len(xs); t++ {
+		for i, x := range xs[t] {
+			if x > out[i] {
+				out[i] = x
+				cache.argmax[i] = t
+			}
+		}
+	}
+	return out, cache
+}
+
+// MaxPoolBackward routes the upstream gradient to the argmax positions.
+func MaxPoolBackward(dy mat.Vec, cache *MaxPoolCache) []mat.Vec {
+	dxs := make([]mat.Vec, cache.n)
+	for t := range dxs {
+		dxs[t] = mat.NewVec(cache.dim)
+	}
+	for i, t := range cache.argmax {
+		dxs[t][i] = dy[i]
+	}
+	return dxs
+}
+
+// MeanPool returns the element-wise mean over xs.
+func MeanPool(xs []mat.Vec) mat.Vec {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := mat.NewVec(len(xs[0]))
+	for _, x := range xs {
+		out.Add(x)
+	}
+	out.Scale(1 / float64(len(xs)))
+	return out
+}
+
+// MeanPoolBackward distributes the upstream gradient uniformly over n steps.
+func MeanPoolBackward(dy mat.Vec, n int) []mat.Vec {
+	dxs := make([]mat.Vec, n)
+	for t := range dxs {
+		d := dy.Clone()
+		d.Scale(1 / float64(n))
+		dxs[t] = d
+	}
+	return dxs
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: logZ upper-bounds the score of every individual path, so the
+// CRF NLL of any gold path is non-negative.
+func TestPropertyLogZBoundsPathScores(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		c := NewCRF("c", k, rng)
+		emit := randEmissions(rng, n, k)
+		logZ := c.forwardBackward(emit, nil, 0, nil)
+		path := make([]int, n)
+		for i := range path {
+			path[i] = rng.Intn(k)
+		}
+		return c.pathScore(emit, path, 0, nil) <= logZ+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: constraining the label set can only lower the partition
+// function, so the fuzzy loss is always non-negative.
+func TestPropertyConstrainedLogZMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		c := NewCRF("c", k, rng)
+		emit := randEmissions(rng, n, k)
+		allowed := make([][]bool, n)
+		for i := range allowed {
+			allowed[i] = make([]bool, k)
+			any := false
+			for j := range allowed[i] {
+				allowed[i][j] = rng.Intn(2) == 0
+				any = any || allowed[i][j]
+			}
+			if !any {
+				allowed[i][rng.Intn(k)] = true
+			}
+		}
+		full := c.forwardBackward(emit, nil, 0, nil)
+		constrained := c.forwardBackward(emit, allowed, 0, nil)
+		return constrained <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enlarging the allowed set never increases the fuzzy loss
+// (more acceptable paths -> higher numerator probability).
+func TestPropertyFuzzyLossMonotoneInAllowedSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3
+		n := 1 + rng.Intn(4)
+		c := NewCRF("c", k, rng)
+		emit := randEmissions(rng, n, k)
+		small := make([][]bool, n)
+		large := make([][]bool, n)
+		for i := range small {
+			small[i] = make([]bool, k)
+			large[i] = make([]bool, k)
+			g := rng.Intn(k)
+			small[i][g] = true
+			copy(large[i], small[i])
+			large[i][rng.Intn(k)] = true
+		}
+		lSmall, _ := c.FuzzyLoss(emit, small)
+		ZeroGrads(c.Params())
+		lLarge, _ := c.FuzzyLoss(emit, large)
+		ZeroGrads(c.Params())
+		return lLarge <= lSmall+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Viterbi path's score never falls below any random path's
+// score.
+func TestPropertyViterbiOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		c := NewCRF("c", k, rng)
+		emit := randEmissions(rng, n, k)
+		_, best := c.Decode(emit)
+		for trial := 0; trial < 10; trial++ {
+			path := make([]int, n)
+			for i := range path {
+				path[i] = rng.Intn(k)
+			}
+			if c.pathScore(emit, path, 0, nil) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

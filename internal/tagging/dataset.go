@@ -1,0 +1,214 @@
+package tagging
+
+import (
+	"math/rand"
+	"sort"
+
+	"alicoco/internal/emb"
+	"alicoco/internal/mat"
+	"alicoco/internal/metrics"
+	"alicoco/internal/text"
+	"alicoco/internal/world"
+)
+
+// BuildDataset assembles the tagging benchmark of Section 7.5 from the
+// world's frames plus pattern-generated distant-supervised examples. The
+// training side carries the distant-supervision noise of the real pipeline:
+// for ambiguous surfaces the noisy gold label picks a random reading, while
+// the Allowed sets record every lexicon-consistent reading (the fuzzy CRF's
+// extra signal). The test side keeps the true gold labels.
+func BuildDataset(w *world.World, extraTrain, extraTest int, seed int64) (train, test []Example) {
+	rng := rand.New(rand.NewSource(seed))
+	frames := append([]*world.Frame(nil), w.Frames...)
+	rng.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	split := len(frames) * 8 / 10
+	for i, f := range frames {
+		ex := frameExample(w, f)
+		if i < split {
+			train = append(train, noisyCopy(w, ex, rng))
+		} else {
+			test = append(test, ex)
+		}
+	}
+	for i := 0; i < extraTrain; i++ {
+		train = append(train, noisyCopy(w, patternExample(w, rng), rng))
+	}
+	// Extra test examples keep true gold; a dedicated RNG stream keeps them
+	// disjoint in distribution draws from the training stream.
+	testRng := rand.New(rand.NewSource(seed + 104729))
+	for i := 0; i < extraTest; i++ {
+		test = append(test, patternExample(w, testRng))
+	}
+	return train, test
+}
+
+// frameExample converts a frame's gold spans into an Example.
+func frameExample(w *world.World, f *world.Frame) Example {
+	gold := text.EncodeIOB(len(f.Tokens), f.Spans)
+	return Example{Tokens: append([]string(nil), f.Tokens...), Gold: gold}
+}
+
+// patternExample generates a short concept with known labeling, the
+// distant-supervision analog of the paper's 24k auto-generated pairs.
+func patternExample(w *world.World, rng *rand.Rand) Example {
+	pick := func(d world.Domain) *world.Primitive {
+		pool := w.ByDomain[d]
+		return w.Prim(pool[rng.Intn(len(pool))])
+	}
+	type slot struct {
+		p   *world.Primitive
+		lit string
+	}
+	var slots []slot
+	switch rng.Intn(4) {
+	case 0: // "<style> <category>"
+		slots = []slot{{p: pick(world.Style)}, {p: pick(world.Category)}}
+	case 1: // "<location> <event>"
+		slots = []slot{{p: pick(world.Location)}, {p: pick(world.Event)}}
+	case 2: // "<function> <category> for <audience>"
+		slots = []slot{{p: pick(world.Function)}, {p: pick(world.Category)}, {lit: "for"}, {p: pick(world.Audience)}}
+	default: // "<time> <category>"
+		slots = []slot{{p: pick(world.Time)}, {p: pick(world.Category)}}
+	}
+	var tokens []string
+	var spans []text.Span
+	for _, s := range slots {
+		if s.lit != "" {
+			tokens = append(tokens, s.lit)
+			continue
+		}
+		start := len(tokens)
+		tokens = append(tokens, s.p.Tokens...)
+		spans = append(spans, text.Span{Start: start, End: len(tokens), Label: string(s.p.Domain)})
+	}
+	return Example{Tokens: tokens, Gold: text.EncodeIOB(len(tokens), spans)}
+}
+
+// noisyCopy injects distant-supervision ambiguity noise: for each span whose
+// surface belongs to several domains, the noisy gold randomly picks one
+// reading; Allowed records all readings.
+func noisyCopy(w *world.World, ex Example, rng *rand.Rand) Example {
+	out := Example{Tokens: ex.Tokens, Gold: append([]string(nil), ex.Gold...)}
+	allowed := make([][]string, len(ex.Tokens))
+	anyAmbiguous := false
+	for _, sp := range text.DecodeIOB(ex.Gold) {
+		surface := joinTokens(ex.Tokens[sp.Start:sp.End])
+		doms := w.AmbiguousDomains(surface)
+		if len(doms) <= 1 {
+			continue
+		}
+		anyAmbiguous = true
+		// Noisy label: random reading.
+		noisy := string(doms[rng.Intn(len(doms))])
+		out.Gold[sp.Start] = "B-" + noisy
+		for i := sp.Start + 1; i < sp.End; i++ {
+			out.Gold[i] = "I-" + noisy
+		}
+		// Allowed: every reading.
+		sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+		for i := sp.Start; i < sp.End; i++ {
+			prefix := "I-"
+			if i == sp.Start {
+				prefix = "B-"
+			}
+			for _, d := range doms {
+				allowed[i] = append(allowed[i], prefix+string(d))
+			}
+		}
+	}
+	if anyAmbiguous {
+		for i := range allowed {
+			if allowed[i] == nil {
+				allowed[i] = []string{out.Gold[i]}
+			}
+		}
+		out.Allowed = allowed
+	}
+	return out
+}
+
+func joinTokens(tokens []string) string {
+	out := ""
+	for i, t := range tokens {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}
+
+// Evaluate computes span-level precision/recall/F1 on examples (Table 5).
+func Evaluate(t *Tagger, examples []Example) (precision, recall, f1 float64) {
+	var c metrics.Confusion
+	for _, ex := range examples {
+		pred := t.PredictSpans(ex.Tokens)
+		gold := text.DecodeIOB(ex.Gold)
+		predKeys := make([]metrics.SpanKey, len(pred))
+		for i, sp := range pred {
+			predKeys[i] = metrics.SpanKey{Start: sp.Start, End: sp.End, Label: sp.Label}
+		}
+		goldKeys := make([]metrics.SpanKey, len(gold))
+		for i, sp := range gold {
+			goldKeys[i] = metrics.SpanKey{Start: sp.Start, End: sp.End, Label: sp.Label}
+		}
+		metrics.SpanPRF1(&c, predKeys, goldKeys)
+	}
+	return c.Precision(), c.Recall(), c.F1()
+}
+
+// FilterAmbiguous keeps only examples containing at least one span whose
+// surface belongs to several domains — the Figure 7 cases where the fuzzy
+// CRF matters.
+func FilterAmbiguous(w *world.World, examples []Example) []Example {
+	var out []Example
+	for _, ex := range examples {
+		for _, sp := range text.DecodeIOB(ex.Gold) {
+			surface := joinTokens(ex.Tokens[sp.Start:sp.End])
+			if len(w.AmbiguousDomains(surface)) > 1 {
+				out = append(out, ex)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// BuildTextMatrix constructs the text-augmented lookup TM of Section 5.3.1:
+// for every corpus word, up to maxContexts context windows are pooled and
+// encoded with Doc2vec.
+func BuildTextMatrix(corpus [][]string, d2v *emb.Doc2Vec, maxContexts int) func(string) mat.Vec {
+	contexts := make(map[string][]string)
+	counts := make(map[string]int)
+	for _, sent := range corpus {
+		for i, w := range sent {
+			if counts[w] >= maxContexts {
+				continue
+			}
+			counts[w]++
+			lo, hi := i-2, i+3
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(sent) {
+				hi = len(sent)
+			}
+			for j := lo; j < hi; j++ {
+				if j != i {
+					contexts[w] = append(contexts[w], sent[j])
+				}
+			}
+		}
+	}
+	cache := make(map[string]mat.Vec, len(contexts))
+	for w, ctx := range contexts {
+		cache[w] = d2v.Encode(ctx)
+	}
+	dim := d2v.Dim()
+	return func(word string) mat.Vec {
+		if v, ok := cache[word]; ok {
+			return v.Clone()
+		}
+		return mat.NewVec(dim)
+	}
+}

@@ -1,0 +1,278 @@
+// Package tagging implements e-commerce concept tagging (Section 5.3): the
+// text-augmented deep NER model with a fuzzy CRF that links an e-commerce
+// concept's words to primitive-concept domains, handling surfaces that
+// legitimately belong to several domains ("village" as Location or Style,
+// Figure 7). Evaluated as Table 5.
+package tagging
+
+import (
+	"math/rand"
+	"strings"
+
+	"alicoco/internal/mat"
+	"alicoco/internal/nn"
+	"alicoco/internal/text"
+)
+
+// Config controls the model and its Table 5 ablation switches.
+type Config struct {
+	WordDim, CharDim, CharFilters, POSDim int
+	Hidden, AttnDim, TMDim                int
+	UseFuzzy, UseKnowledge                bool
+	Epochs                                int
+	LR                                    float64
+	Seed                                  int64
+}
+
+// DefaultConfig returns laptop-scale hyperparameters for the full model.
+func DefaultConfig() Config {
+	return Config{
+		WordDim: 20, CharDim: 10, CharFilters: 10, POSDim: 4,
+		Hidden: 14, AttnDim: 20, TMDim: 16,
+		UseFuzzy: true, UseKnowledge: true,
+		Epochs: 8, LR: 0.01, Seed: 31,
+	}
+}
+
+// Example is one training/evaluation concept: tokens, IOB gold tags, and
+// (for fuzzy training) the set of acceptable tags per position derived from
+// the lexicon's ambiguity.
+type Example struct {
+	Tokens  []string
+	Gold    []string
+	Allowed [][]string // nil means singleton gold
+}
+
+// Tagger is the model of Figure 6.
+type Tagger struct {
+	cfg     Config
+	Tags    []string
+	tagIdx  map[string]int
+	wordVoc *text.Vocab
+	charVoc *text.Vocab
+	pos     *text.POSTagger
+	tm      func(word string) mat.Vec // text-augmented lookup (frozen)
+
+	wordEmb *nn.Embedding
+	charEmb *nn.Embedding
+	charCNN *nn.Conv1D
+	posEmb  *nn.Embedding
+	bi      *nn.BiLSTM
+	attn    *nn.SelfAttention
+	proj    *nn.Dense
+	crf     *nn.CRF
+
+	params []*nn.Param
+	opt    *nn.Adam
+}
+
+// NewTagger builds an untrained tagger over the given domain classes. tm may
+// be nil when UseKnowledge is false.
+func NewTagger(classes []string, pos *text.POSTagger, tm func(string) mat.Vec, cfg Config) *Tagger {
+	tags, tagIdx := text.IOBLabelSet(classes)
+	return &Tagger{
+		cfg: cfg, Tags: tags, tagIdx: tagIdx,
+		wordVoc: text.NewVocab(), charVoc: text.NewVocab(),
+		pos: pos, tm: tm,
+	}
+}
+
+func (t *Tagger) finalize() {
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	t.wordEmb = nn.NewEmbedding("tag.wordEmb", t.wordVoc.Len(), t.cfg.WordDim, rng)
+	t.charEmb = nn.NewEmbedding("tag.charEmb", t.charVoc.Len(), t.cfg.CharDim, rng)
+	t.charCNN = nn.NewConv1D("tag.charCNN", t.cfg.CharDim, t.cfg.CharFilters, 3, nn.Tanh, rng)
+	t.posEmb = nn.NewEmbedding("tag.posEmb", 8, t.cfg.POSDim, rng)
+	wordIn := t.cfg.WordDim + t.cfg.CharFilters + t.cfg.POSDim
+	t.bi = nn.NewBiLSTM("tag.bi", wordIn, t.cfg.Hidden, rng)
+	encDim := 2 * t.cfg.Hidden
+	layers := []nn.Layer{t.wordEmb, t.charEmb, t.charCNN, t.posEmb, t.bi}
+	if t.cfg.UseKnowledge {
+		t.attn = nn.NewSelfAttention("tag.attn", encDim+t.cfg.TMDim, t.cfg.AttnDim, rng)
+		layers = append(layers, t.attn)
+		encDim = t.cfg.AttnDim
+	}
+	t.proj = nn.NewDense("tag.proj", encDim, len(t.Tags), nn.Identity, rng)
+	t.crf = nn.NewCRF("tag.crf", len(t.Tags), rng)
+	layers = append(layers, t.proj, t.crf)
+	t.params = nn.CollectParams(layers...)
+	t.opt = nn.NewAdam(t.cfg.LR, 5)
+}
+
+// forward encodes a concept and returns per-token emissions plus a backward
+// closure.
+func (t *Tagger) forward(tokens []string) ([]mat.Vec, func([]mat.Vec)) {
+	n := len(tokens)
+	wordIDs := t.wordVoc.EncodeFixed(tokens)
+	posIDs := make([]int, n)
+	for i, p := range t.pos.TagSeq(tokens) {
+		posIDs[i] = int(p)
+	}
+	charIDs := make([][]int, n)
+	charCaches := make([]*nn.Conv1DCache, n)
+	charPools := make([]*nn.MaxPoolCache, n)
+	xs := make([]mat.Vec, n)
+	for i, tok := range tokens {
+		ids := make([]int, 0, len(tok))
+		for _, r := range tok {
+			ids = append(ids, t.charVoc.ID(string(r)))
+		}
+		charIDs[i] = ids
+		cs := t.charEmb.LookupSeq(ids)
+		convOut, cc := t.charCNN.Forward(cs)
+		pooled, pc := nn.MaxPool(convOut)
+		if pooled == nil {
+			pooled = mat.NewVec(t.cfg.CharFilters)
+		}
+		charCaches[i], charPools[i] = cc, pc
+		xs[i] = mat.Concat(t.wordEmb.Lookup(wordIDs[i]), pooled, t.posEmb.Lookup(posIDs[i]))
+	}
+	hs, biCache := t.bi.Forward(xs)
+
+	var enc []mat.Vec
+	var attnCache *nn.AttnCache
+	if t.cfg.UseKnowledge {
+		aug := make([]mat.Vec, n)
+		for i := range hs {
+			aug[i] = mat.Concat(hs[i], t.tmVec(tokens[i]))
+		}
+		enc, attnCache = t.attn.Forward(aug)
+	} else {
+		enc = hs
+	}
+	emits := make([]mat.Vec, n)
+	dCaches := make([]*nn.DenseCache, n)
+	for i, e := range enc {
+		emits[i], dCaches[i] = t.proj.Forward(e)
+	}
+
+	back := func(dEmit []mat.Vec) {
+		dEnc := make([]mat.Vec, n)
+		for i := range dEmit {
+			dEnc[i] = t.proj.Backward(dEmit[i], dCaches[i])
+		}
+		var dHs []mat.Vec
+		if t.cfg.UseKnowledge {
+			dAug := t.attn.Backward(dEnc, attnCache)
+			dHs = make([]mat.Vec, n)
+			for i := range dAug {
+				dHs[i] = mat.Vec(dAug[i][:2*t.cfg.Hidden]).Clone() // tm is frozen
+			}
+		} else {
+			dHs = dEnc
+		}
+		dXs := t.bi.Backward(dHs, biCache)
+		for i, dx := range dXs {
+			off := 0
+			t.wordEmb.Accumulate(t.wordVoc.ID(tokens[i]), dx[off:off+t.cfg.WordDim])
+			off += t.cfg.WordDim
+			dPool := mat.Vec(dx[off : off+t.cfg.CharFilters])
+			off += t.cfg.CharFilters
+			if charPools[i] != nil && len(charIDs[i]) > 0 {
+				dConv := nn.MaxPoolBackward(dPool, charPools[i])
+				dChars := t.charCNN.Backward(dConv, charCaches[i])
+				t.charEmb.AccumulateSeq(charIDs[i], dChars)
+			}
+			t.posEmb.Accumulate(posIDs[i], dx[off:])
+		}
+	}
+	return emits, back
+}
+
+// tmVec returns the text-augmented vector for a word (zero if absent).
+func (t *Tagger) tmVec(word string) mat.Vec {
+	if t.tm == nil {
+		return mat.NewVec(t.cfg.TMDim)
+	}
+	v := t.tm(word)
+	if len(v) != t.cfg.TMDim {
+		out := mat.NewVec(t.cfg.TMDim)
+		copy(out, v)
+		return out
+	}
+	return v
+}
+
+// allowedMask converts an example's allowed tag sets into a CRF mask.
+func (t *Tagger) allowedMask(ex Example) [][]bool {
+	mask := make([][]bool, len(ex.Tokens))
+	for i := range mask {
+		mask[i] = make([]bool, len(t.Tags))
+		if ex.Allowed != nil && len(ex.Allowed[i]) > 0 {
+			for _, tag := range ex.Allowed[i] {
+				if k, ok := t.tagIdx[tag]; ok {
+					mask[i][k] = true
+				}
+			}
+		} else {
+			mask[i][t.tagIdx[ex.Gold[i]]] = true
+		}
+	}
+	return mask
+}
+
+// Train fits the tagger. With UseFuzzy it optimizes Equation 8 over the
+// allowed sets; otherwise the standard CRF NLL over the (possibly noisy)
+// gold path.
+func (t *Tagger) Train(examples []Example) float64 {
+	for _, ex := range examples {
+		t.wordVoc.Encode(ex.Tokens)
+		for _, tok := range ex.Tokens {
+			for _, r := range tok {
+				t.charVoc.Add(string(r))
+			}
+		}
+	}
+	t.wordVoc.Freeze()
+	t.charVoc.Freeze()
+	t.finalize()
+	rng := rand.New(rand.NewSource(t.cfg.Seed + 1))
+	var last float64
+	for epoch := 0; epoch < t.cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		var total float64
+		for _, pi := range perm {
+			ex := examples[pi]
+			emits, back := t.forward(ex.Tokens)
+			var loss float64
+			var dEmit []mat.Vec
+			if t.cfg.UseFuzzy {
+				loss, dEmit = t.crf.FuzzyLoss(emits, t.allowedMask(ex))
+			} else {
+				gold := make([]int, len(ex.Gold))
+				for i, g := range ex.Gold {
+					gold[i] = t.tagIdx[g]
+				}
+				loss, dEmit = t.crf.Loss(emits, gold)
+			}
+			total += loss
+			back(dEmit)
+			t.opt.Step(t.params)
+		}
+		last = total / float64(len(examples))
+	}
+	return last
+}
+
+// Predict returns IOB tags for a concept phrase.
+func (t *Tagger) Predict(tokens []string) []string {
+	if t.crf == nil {
+		panic("tagging: Predict before Train")
+	}
+	emits, _ := t.forward(tokens)
+	nn.ZeroGrads(t.params)
+	path, _ := t.crf.Decode(emits)
+	out := make([]string, len(path))
+	for i, k := range path {
+		out[i] = t.Tags[k]
+	}
+	return out
+}
+
+// PredictSpans decodes and returns labeled spans.
+func (t *Tagger) PredictSpans(tokens []string) []text.Span {
+	return text.DecodeIOB(t.Predict(tokens))
+}
+
+// Name joins tokens for error messages.
+func Name(tokens []string) string { return strings.Join(tokens, " ") }

@@ -1,0 +1,105 @@
+package text
+
+import (
+	"math"
+	"strings"
+)
+
+// NGramLM is a trigram language model with Jelinek-Mercer interpolation. It
+// stands in for the BERT model the paper trains on e-commerce corpus to
+// score the fluency (perplexity) of candidate concepts (Section 5.2.2): a
+// phrase whose word order never occurs in the corpus gets high perplexity.
+type NGramLM struct {
+	uni        map[string]float64
+	bi         map[string]float64
+	tri        map[string]float64
+	biCtx      map[string]float64
+	triCtx     map[string]float64
+	total      float64
+	vocabSize  float64
+	L1, L2, L3 float64 // interpolation weights, sum to 1
+}
+
+// Sentence boundary markers.
+const (
+	bos = "<s>"
+	eos = "</s>"
+)
+
+// NewNGramLM returns an untrained trigram LM with default interpolation
+// weights favouring higher orders.
+func NewNGramLM() *NGramLM {
+	return &NGramLM{
+		uni: make(map[string]float64), bi: make(map[string]float64), tri: make(map[string]float64),
+		biCtx: make(map[string]float64), triCtx: make(map[string]float64),
+		L1: 0.1, L2: 0.3, L3: 0.6,
+	}
+}
+
+// Train accumulates counts from a corpus of tokenized sentences. It may be
+// called repeatedly.
+func (lm *NGramLM) Train(corpus [][]string) {
+	for _, sent := range corpus {
+		toks := make([]string, 0, len(sent)+3)
+		toks = append(toks, bos, bos)
+		toks = append(toks, sent...)
+		toks = append(toks, eos)
+		for i := 2; i < len(toks); i++ {
+			w := toks[i]
+			lm.uni[w]++
+			lm.total++
+			big := toks[i-1] + " " + w
+			lm.bi[big]++
+			lm.biCtx[toks[i-1]]++
+			trig := toks[i-2] + " " + toks[i-1] + " " + w
+			lm.tri[trig]++
+			lm.triCtx[toks[i-2]+" "+toks[i-1]]++
+		}
+	}
+	lm.vocabSize = float64(len(lm.uni)) + 1
+}
+
+// prob returns the interpolated probability of w given the two preceding
+// tokens.
+func (lm *NGramLM) prob(w2, w1, w string) float64 {
+	// Unigram with add-one smoothing so unseen words keep nonzero mass.
+	p1 := (lm.uni[w] + 1) / (lm.total + lm.vocabSize)
+	p2 := 0.0
+	if c := lm.biCtx[w1]; c > 0 {
+		p2 = lm.bi[w1+" "+w] / c
+	}
+	p3 := 0.0
+	if c := lm.triCtx[w2+" "+w1]; c > 0 {
+		p3 = lm.tri[w2+" "+w1+" "+w] / c
+	}
+	return lm.L1*p1 + lm.L2*p2 + lm.L3*p3
+}
+
+// LogProb returns the total log-probability of the token sequence.
+func (lm *NGramLM) LogProb(tokens []string) float64 {
+	toks := make([]string, 0, len(tokens)+3)
+	toks = append(toks, bos, bos)
+	toks = append(toks, tokens...)
+	toks = append(toks, eos)
+	var lp float64
+	for i := 2; i < len(toks); i++ {
+		lp += math.Log(lm.prob(toks[i-2], toks[i-1], toks[i]))
+	}
+	return lp
+}
+
+// Perplexity returns exp(-logprob/len) over the sequence including the
+// end-of-sentence event. Lower means more fluent in-domain text.
+func (lm *NGramLM) Perplexity(tokens []string) float64 {
+	n := float64(len(tokens) + 1)
+	return math.Exp(-lm.LogProb(tokens) / n)
+}
+
+// WordFrequency returns the relative corpus frequency of w — the
+// "popularity" wide feature of Section 5.2.2.
+func (lm *NGramLM) WordFrequency(w string) float64 {
+	if lm.total == 0 {
+		return 0
+	}
+	return lm.uni[strings.ToLower(w)] / lm.total
+}

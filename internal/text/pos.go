@@ -1,0 +1,91 @@
+package text
+
+// POS is a coarse part-of-speech tag. The paper feeds POS-tag embeddings to
+// both the concept classifier (Section 5.2.2) and the tagging model
+// (Section 5.3); we reproduce that feature with a lexicon-driven tagger over
+// the synthetic world's vocabulary.
+type POS int
+
+// Coarse tag inventory.
+const (
+	PosOther POS = iota
+	PosNoun
+	PosAdj
+	PosVerb
+	PosPrep
+	PosNum
+	NumPOS // count of tags
+)
+
+// String returns the conventional abbreviation for the tag.
+func (p POS) String() string {
+	switch p {
+	case PosNoun:
+		return "NOUN"
+	case PosAdj:
+		return "ADJ"
+	case PosVerb:
+		return "VERB"
+	case PosPrep:
+		return "PREP"
+	case PosNum:
+		return "NUM"
+	default:
+		return "OTHER"
+	}
+}
+
+// POSTagger assigns coarse tags from a lexicon with closed-class and
+// morphological fallbacks.
+type POSTagger struct {
+	lexicon map[string]POS
+}
+
+// NewPOSTagger returns a tagger seeded with English closed-class words.
+func NewPOSTagger() *POSTagger {
+	t := &POSTagger{lexicon: make(map[string]POS)}
+	for _, w := range []string{"for", "in", "on", "at", "with", "from", "of", "to", "under", "over"} {
+		t.lexicon[w] = PosPrep
+	}
+	return t
+}
+
+// Learn records the tag for a word; later entries do not override earlier
+// ones so closed-class words stay stable.
+func (t *POSTagger) Learn(word string, pos POS) {
+	if _, ok := t.lexicon[word]; !ok {
+		t.lexicon[word] = pos
+	}
+}
+
+// Tag returns the tag for a single word.
+func (t *POSTagger) Tag(word string) POS {
+	if p, ok := t.lexicon[word]; ok {
+		return p
+	}
+	if len(word) > 0 && word[0] >= '0' && word[0] <= '9' {
+		return PosNum
+	}
+	// Morphological heuristics mirroring how a trained tagger backs off.
+	switch {
+	case hasSuffix(word, "ing"), hasSuffix(word, "ed"):
+		return PosVerb
+	case hasSuffix(word, "y"), hasSuffix(word, "ful"), hasSuffix(word, "ish"), hasSuffix(word, "al"):
+		return PosAdj
+	default:
+		return PosNoun
+	}
+}
+
+// TagSeq tags every token of a sentence.
+func (t *POSTagger) TagSeq(tokens []string) []POS {
+	out := make([]POS, len(tokens))
+	for i, w := range tokens {
+		out[i] = t.Tag(w)
+	}
+	return out
+}
+
+func hasSuffix(w, suf string) bool {
+	return len(w) > len(suf)+1 && w[len(w)-len(suf):] == suf
+}

@@ -1,0 +1,141 @@
+package text
+
+import "strings"
+
+// Segmenter performs maximum-matching segmentation of a token stream against
+// a lexicon of known (possibly multi-token) phrases. The paper uses exactly
+// this dynamic program to distantly label training sentences with existing
+// primitive concepts (Section 7.2): segments that match the lexicon receive
+// the concept's domain label, everything else is O, and sentences whose
+// matching is ambiguous are discarded.
+type Segmenter struct {
+	// phrases maps the space-joined phrase to the set of labels it can
+	// carry (a surface form may belong to several domains, which is what
+	// makes a sentence ambiguous).
+	phrases map[string][]string
+	// stopwords are function/template words allowed to stay unlabeled (O)
+	// in a perfectly matched sentence.
+	stopwords map[string]bool
+	maxLen    int
+}
+
+// NewSegmenter returns an empty segmenter.
+func NewSegmenter() *Segmenter {
+	return &Segmenter{phrases: make(map[string][]string), stopwords: make(map[string]bool)}
+}
+
+// AddStopwords registers function words that may remain unlabeled in a
+// perfectly matched sentence.
+func (s *Segmenter) AddStopwords(words ...string) {
+	for _, w := range words {
+		s.stopwords[w] = true
+	}
+}
+
+// AddPhrase registers a phrase (already tokenized, space-joined internally)
+// under a label. Duplicate labels for a phrase are ignored.
+func (s *Segmenter) AddPhrase(tokens []string, label string) {
+	key := strings.Join(tokens, " ")
+	for _, l := range s.phrases[key] {
+		if l == label {
+			return
+		}
+	}
+	s.phrases[key] = append(s.phrases[key], label)
+	if len(tokens) > s.maxLen {
+		s.maxLen = len(tokens)
+	}
+}
+
+// Len returns the number of distinct phrases.
+func (s *Segmenter) Len() int { return len(s.phrases) }
+
+// Segment is one unit of a segmentation: a token range plus the candidate
+// labels from the lexicon (empty for out-of-lexicon single tokens).
+type Segment struct {
+	Start, End int
+	Labels     []string
+}
+
+// MaxMatch segments tokens greedily longest-match-first via dynamic
+// programming: among segmentations that maximize total matched tokens it
+// prefers fewer segments. Unmatched positions become single-token segments
+// with no labels.
+func (s *Segmenter) MaxMatch(tokens []string) []Segment {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	// dp[i] = (matched tokens, -segments) best for prefix of length i.
+	type state struct {
+		matched, segs int
+		prevLen       int // length of last segment
+		isMatch       bool
+	}
+	dp := make([]state, n+1)
+	for i := 1; i <= n; i++ {
+		// Default: single unmatched token.
+		best := state{matched: dp[i-1].matched, segs: dp[i-1].segs + 1, prevLen: 1, isMatch: false}
+		maxL := s.maxLen
+		if maxL > i {
+			maxL = i
+		}
+		for l := 1; l <= maxL; l++ {
+			key := strings.Join(tokens[i-l:i], " ")
+			if _, ok := s.phrases[key]; !ok {
+				continue
+			}
+			cand := state{matched: dp[i-l].matched + l, segs: dp[i-l].segs + 1, prevLen: l, isMatch: true}
+			if cand.matched > best.matched || (cand.matched == best.matched && cand.segs < best.segs) {
+				best = cand
+			}
+		}
+		dp[i] = best
+	}
+	// Reconstruct.
+	var rev []Segment
+	for i := n; i > 0; {
+		st := dp[i]
+		seg := Segment{Start: i - st.prevLen, End: i}
+		if st.isMatch {
+			key := strings.Join(tokens[seg.Start:seg.End], " ")
+			seg.Labels = append([]string(nil), s.phrases[key]...)
+		}
+		rev = append(rev, seg)
+		i -= st.prevLen
+	}
+	out := make([]Segment, len(rev))
+	for i, seg := range rev {
+		out[len(rev)-1-i] = seg
+	}
+	return out
+}
+
+// DistantLabel converts a max-match segmentation into IOB tags. Following
+// Section 7.2, only perfectly matched sentences qualify: every token is
+// covered by exactly one concept label or is a registered stopword (tagged
+// O). Sentences with ambiguous matches (a segment carrying two labels) or
+// with unknown words are rejected.
+func (s *Segmenter) DistantLabel(tokens []string) ([]string, bool) {
+	segs := s.MaxMatch(tokens)
+	anyMatch := false
+	var spans []Span
+	for _, seg := range segs {
+		switch len(seg.Labels) {
+		case 0:
+			if seg.End-seg.Start == 1 && s.stopwords[tokens[seg.Start]] {
+				continue // function word, stays O
+			}
+			return nil, false // unknown word: not a perfect match
+		case 1:
+			anyMatch = true
+			spans = append(spans, Span{Start: seg.Start, End: seg.End, Label: seg.Labels[0]})
+		default:
+			return nil, false // ambiguous
+		}
+	}
+	if !anyMatch {
+		return nil, false
+	}
+	return EncodeIOB(len(tokens), spans), true
+}

@@ -1,0 +1,305 @@
+package world
+
+import "strings"
+
+// Candidate is a labeled e-commerce-concept candidate for the classification
+// task of Section 5.2.2. Reason is empty for good candidates and names the
+// violated criterion otherwise, mirroring the paper's five criteria
+// (Section 5.1).
+type Candidate struct {
+	Tokens []string
+	Good   bool
+	Reason string // "incoherent", "implausible", "nonsense", "typo"
+}
+
+// Name returns the space-joined candidate phrase.
+func (c Candidate) Name() string { return strings.Join(c.Tokens, " ") }
+
+// Non-shopping filler vocabulary for "no e-commerce meaning" negatives —
+// the "blue sky" / "hens lay eggs" counterexamples of Section 5.1.
+var (
+	fillerNouns = []string{"sky", "rain", "cloud", "grass", "river", "song", "dream", "idea", "hens", "shadow", "meeting", "silence"}
+	fillerVerbs = []string{"lay", "falls", "drifts", "sings", "fades", "rises", "whispers"}
+)
+
+// ConceptCandidates emits a balanced labeled dataset of n candidates,
+// deterministic for the world's seed. Roughly half are good; the bad half is
+// split across the four failure modes.
+func (w *World) ConceptCandidates(n int) []Candidate {
+	out := make([]Candidate, 0, n)
+	for len(out) < n {
+		if len(out)%2 == 0 {
+			out = append(out, w.goodCandidate())
+		} else {
+			out = append(out, w.badCandidate(false, false))
+		}
+	}
+	return out
+}
+
+// ConceptCandidatesHoldout emits train and test sets whose implausible
+// negatives use *disjoint* constraint instantiations: the training side sees
+// e.g. "sexy ... for baby" and "british korean ...", the test side "sexy ...
+// for toddlers" and "european nordic ...". Surface memorization cannot solve
+// the test side; gloss knowledge (baby/toddlers share "young children",
+// regional styles share "tied to one tradition") can — the commonsense
+// generalization the paper's knowledge injection targets (Section 5.2.2).
+func (w *World) ConceptCandidatesHoldout(nTrain, nTest int) (train, test []Candidate) {
+	emit := func(n int, holdout bool) []Candidate {
+		out := make([]Candidate, 0, n)
+		for len(out) < n {
+			if len(out)%2 == 0 {
+				out = append(out, w.goodCandidate())
+			} else {
+				out = append(out, w.badCandidate(true, holdout))
+			}
+		}
+		return out
+	}
+	return emit(nTrain, false), emit(nTest, true)
+}
+
+// goodCandidate samples a frame phrase or builds a fresh plausible combo.
+func (w *World) goodCandidate() Candidate {
+	if w.rng.Intn(2) == 0 {
+		f := w.Frames[w.rng.Intn(len(w.Frames))]
+		return Candidate{Tokens: append([]string(nil), f.Tokens...), Good: true}
+	}
+	// Fresh plausible pattern: "<attr> <leaf> for <audience|event>".
+	for tries := 0; tries < 50; tries++ {
+		leafID := w.randomLeaf()
+		fam := w.FamilyOfLeaf[leafID]
+		doms := familyAttributes[fam]
+		attrID := w.randomPrimOf(doms[w.rng.Intn(len(doms))])
+		var tailID int
+		if w.rng.Intn(2) == 0 {
+			tailID = w.randomPrimOf(Audience)
+		} else {
+			tailID = w.randomPrimOf(Event)
+		}
+		ids := []int{attrID, leafID, tailID}
+		if okp, _ := w.Plausible(ids); !okp {
+			continue
+		}
+		tokens := append([]string(nil), w.Primitives[attrID].Tokens...)
+		tokens = append(tokens, w.Primitives[leafID].Tokens...)
+		tokens = append(tokens, "for")
+		tokens = append(tokens, w.Primitives[tailID].Tokens...)
+		return Candidate{Tokens: tokens, Good: true}
+	}
+	f := w.Frames[w.rng.Intn(len(w.Frames))]
+	return Candidate{Tokens: append([]string(nil), f.Tokens...), Good: true}
+}
+
+func (w *World) badCandidate(split, holdout bool) Candidate {
+	switch w.rng.Intn(4) {
+	case 0:
+		return w.incoherentCandidate()
+	case 1:
+		if split {
+			return w.implausibleSplitCandidate(holdout)
+		}
+		return w.implausibleCandidate()
+	case 2:
+		return w.nonsenseCandidate()
+	default:
+		return w.typoCandidate()
+	}
+}
+
+// implausibleSplitCandidate builds implausible candidates from disjoint
+// instantiation pools per split. The held-out words are gloss-bridgeable to
+// their training counterparts.
+func (w *World) implausibleSplitCandidate(holdout bool) Candidate {
+	type stylePair struct{ a, b string }
+	trainAud := []string{"kids", "baby"}
+	testAud := []string{"toddlers"}
+	trainStyles := []stylePair{{"british", "korean"}, {"korean", "british"}}
+	testStyles := []stylePair{{"european", "nordic"}, {"nordic", "european"}}
+	trainTimeLeaf := map[string][]string{"summer": {"coat", "parka"}, "winter": {"sandals"}}
+	testTimeLeaf := map[string][]string{"summer": {"sweater", "snowboard", "gloves", "scarf"}, "winter": {"shorts", "kite"}}
+
+	aud, styles, timeLeaf := trainAud, trainStyles, trainTimeLeaf
+	if holdout {
+		aud, styles, timeLeaf = testAud, testStyles, testTimeLeaf
+	}
+	switch w.rng.Intn(3) {
+	case 0: // modifier/audience clash
+		leaf := w.Primitives[w.randomLeaf()]
+		tokens := []string{"sexy"}
+		tokens = append(tokens, leaf.Tokens...)
+		tokens = append(tokens, "for", aud[w.rng.Intn(len(aud))])
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	case 1: // conflicting regional styles
+		p := styles[w.rng.Intn(len(styles))]
+		leaf := w.Primitives[w.randomLeaf()]
+		tokens := []string{p.a, p.b}
+		tokens = append(tokens, leaf.Tokens...)
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	default: // time/category clash
+		tms := []string{"summer", "winter"}
+		tm := tms[w.rng.Intn(len(tms))]
+		bads := timeLeaf[tm]
+		leaf := bads[w.rng.Intn(len(bads))]
+		tokens := []string{"casual", tm, leaf}
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	}
+}
+
+// incoherentCandidate scrambles a good phrase's word order ("for grandpa
+// gifts christmas") — caught by language-model fluency.
+func (w *World) incoherentCandidate() Candidate {
+	g := w.goodCandidate()
+	tokens := append([]string(nil), g.Tokens...)
+	if len(tokens) < 2 {
+		tokens = append(tokens, "for")
+	}
+	orig := strings.Join(tokens, " ")
+	for tries := 0; tries < 20; tries++ {
+		w.rng.Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
+		if strings.Join(tokens, " ") != orig {
+			break
+		}
+	}
+	return Candidate{Tokens: tokens, Good: false, Reason: "incoherent"}
+}
+
+// implausibleCandidate builds a fluent phrase that violates a commonsense
+// constraint — "sexy dress for baby", "warm sneakers for swimming",
+// "british korean curtain", "summer parka".
+func (w *World) implausibleCandidate() Candidate {
+	switch w.rng.Intn(4) {
+	case 0: // modifier/audience clash
+		mods := []string{"sexy", "sexy", "giant"}
+		mod := mods[w.rng.Intn(len(mods))]
+		bads := incompatModifierAudience[mod]
+		aud := bads[w.rng.Intn(len(bads))]
+		leaf := w.Primitives[w.randomLeaf()]
+		tokens := []string{mod}
+		tokens = append(tokens, leaf.Tokens...)
+		tokens = append(tokens, "for", aud)
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	case 1: // event/function clash
+		evs := make([]string, 0, len(incompatEventFunction))
+		for ev := range incompatEventFunction {
+			evs = append(evs, ev)
+		}
+		sortStringsInPlace(evs)
+		ev := evs[w.rng.Intn(len(evs))]
+		fns := incompatEventFunction[ev]
+		fn := fns[w.rng.Intn(len(fns))]
+		leaf := w.Primitives[w.randomLeaf()]
+		tokens := []string{fn}
+		tokens = append(tokens, leaf.Tokens...)
+		tokens = append(tokens, "for", ev)
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	case 2: // conflicting regional styles
+		i := w.rng.Intn(len(regionalStyles))
+		j := w.rng.Intn(len(regionalStyles))
+		for j == i {
+			j = w.rng.Intn(len(regionalStyles))
+		}
+		leaf := w.Primitives[w.randomLeaf()]
+		tokens := []string{regionalStyles[i], regionalStyles[j]}
+		tokens = append(tokens, leaf.Tokens...)
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	default: // time/category clash
+		tms := []string{"summer", "winter"}
+		tm := tms[w.rng.Intn(len(tms))]
+		bads := incompatTimeLeaf[tm]
+		leaf := bads[w.rng.Intn(len(bads))]
+		tokens := []string{"casual", tm, leaf}
+		return Candidate{Tokens: tokens, Good: false, Reason: "implausible"}
+	}
+}
+
+// nonsenseCandidate emits a fluent-looking phrase with no shopping meaning.
+func (w *World) nonsenseCandidate() Candidate {
+	switch w.rng.Intn(3) {
+	case 0:
+		tokens := []string{colorWords[w.rng.Intn(len(colorWords))], fillerNouns[w.rng.Intn(len(fillerNouns))]}
+		return Candidate{Tokens: tokens, Good: false, Reason: "nonsense"}
+	case 1:
+		tokens := []string{fillerNouns[w.rng.Intn(len(fillerNouns))], fillerVerbs[w.rng.Intn(len(fillerVerbs))], fillerNouns[w.rng.Intn(len(fillerNouns))]}
+		return Candidate{Tokens: tokens, Good: false, Reason: "nonsense"}
+	default:
+		tokens := []string{fillerNouns[w.rng.Intn(len(fillerNouns))], fillerVerbs[w.rng.Intn(len(fillerVerbs))]}
+		return Candidate{Tokens: tokens, Good: false, Reason: "nonsense"}
+	}
+}
+
+// typoCandidate corrupts one word of a good phrase — a "correctness"
+// violation caught by character-level features and word popularity.
+func (w *World) typoCandidate() Candidate {
+	g := w.goodCandidate()
+	tokens := append([]string(nil), g.Tokens...)
+	i := w.rng.Intn(len(tokens))
+	tokens[i] = corruptWord(tokens[i], w.rng.Intn(3))
+	return Candidate{Tokens: tokens, Good: false, Reason: "typo"}
+}
+
+func corruptWord(word string, mode int) string {
+	r := []rune(word)
+	switch {
+	case mode == 0 && len(r) >= 3:
+		r[1], r[2] = r[2], r[1]
+		return string(r)
+	case mode == 1 && len(r) >= 2:
+		return string(r[:len(r)-1]) + "q" + string(r[len(r)-1:])
+	default:
+		return word + "x"
+	}
+}
+
+func sortStringsInPlace(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// QuerySet returns n labeled evaluation queries for the coverage experiment
+// (Section 7.1): each query is a rewritten coherent word sequence plus a
+// flag for whether it expresses a scenario-style need (beyond CPV).
+type CoverageQuery struct {
+	Tokens   []string
+	Scenario bool // needs-style query a CPV ontology cannot cover
+}
+
+// QuerySet emits the daily 2000-query sample of Section 7.1 (size n here).
+// ~35% are CPV-style (category/property/brand), ~65% scenario-style; a
+// fraction of scenario queries carry an out-of-vocabulary token to keep
+// coverage below 100%.
+func (w *World) QuerySet(n int) []CoverageQuery {
+	out := make([]CoverageQuery, 0, n)
+	oov := []string{"gizmo", "whatsit", "doohickey", "thingum"}
+	for len(out) < n {
+		r := w.rng.Float64()
+		switch {
+		case r < 0.25: // category / attribute
+			leafID := w.randomLeaf()
+			toks := append([]string(nil), w.Primitives[leafID].Tokens...)
+			if w.rng.Intn(2) == 0 {
+				fam := w.FamilyOfLeaf[leafID]
+				doms := familyAttributes[fam]
+				attr := w.randomPrimOf(doms[w.rng.Intn(len(doms))])
+				toks = append(append([]string(nil), w.Primitives[attr].Tokens...), toks...)
+			}
+			out = append(out, CoverageQuery{Tokens: toks})
+		case r < 0.35: // brand query
+			b := w.randomPrimOf(Brand)
+			toks := append([]string(nil), w.Primitives[b].Tokens...)
+			toks = append(toks, w.Primitives[w.randomLeaf()].Tokens...)
+			out = append(out, CoverageQuery{Tokens: toks})
+		default: // scenario query
+			f := w.Frames[w.rng.Intn(len(w.Frames))]
+			toks := append([]string(nil), f.Tokens...)
+			if w.rng.Float64() < 0.18 {
+				toks = append(toks, oov[w.rng.Intn(len(oov))])
+			}
+			out = append(out, CoverageQuery{Tokens: toks, Scenario: true})
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package world
+
+// Session is one simulated user shopping session: the user has an
+// (unobserved) scenario need, views some of its items, and clicks others.
+// Click logs are the supervision source for concept-item matching
+// (Section 7.6, "user click logs of the running application") and the
+// replay data for the recommendation experiments (Section 8.2).
+type Session struct {
+	User    int
+	Frame   int   // the latent need
+	Viewed  []int // item IDs the user browsed (triggers)
+	Clicked []int // item IDs the user clicked afterwards
+}
+
+// ClickLog simulates n sessions. A small noise rate injects clicks outside
+// the latent scenario so models cannot rely on perfectly clean labels.
+func (w *World) ClickLog(n int) []Session {
+	out := make([]Session, 0, n)
+	for len(out) < n {
+		f := w.Frames[w.rng.Intn(len(w.Frames))]
+		assoc := w.FrameItems(f)
+		if len(assoc) < 4 {
+			continue
+		}
+		perm := w.rng.Perm(len(assoc))
+		nView := 2 + w.rng.Intn(2)
+		nClick := 2 + w.rng.Intn(3)
+		if nView+nClick > len(assoc) {
+			nView = len(assoc) / 2
+			nClick = len(assoc) - nView
+		}
+		s := Session{User: len(out), Frame: f.ID}
+		for _, pi := range perm[:nView] {
+			s.Viewed = append(s.Viewed, assoc[pi])
+		}
+		for _, pi := range perm[nView : nView+nClick] {
+			item := assoc[pi]
+			if w.rng.Float64() < 0.05 { // noise click
+				item = w.Items[w.rng.Intn(len(w.Items))].ID
+			}
+			s.Clicked = append(s.Clicked, item)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MatchingPair is one labeled (concept, item) example for the semantic
+// matching task of Section 6.
+type MatchingPair struct {
+	Frame int
+	Item  int
+	Label bool
+}
+
+// MatchingPairs builds a labeled dataset: positives from ground-truth
+// frame-item association, negatives by random mismatch. The returned set is
+// deduplicated and deterministic for the world's seed.
+func (w *World) MatchingPairs(nPos, nNeg int) []MatchingPair {
+	seen := make(map[[2]int]bool)
+	var out []MatchingPair
+	for len(out) < nPos {
+		f := w.Frames[w.rng.Intn(len(w.Frames))]
+		assoc := w.FrameItems(f)
+		if len(assoc) == 0 {
+			continue
+		}
+		item := assoc[w.rng.Intn(len(assoc))]
+		key := [2]int{f.ID, item}
+		if seen[key] {
+			// Allow saturation on tiny worlds.
+			if len(seen) >= w.maxPairs() {
+				break
+			}
+			continue
+		}
+		seen[key] = true
+		out = append(out, MatchingPair{Frame: f.ID, Item: item, Label: true})
+	}
+	negs := 0
+	for negs < nNeg {
+		f := w.Frames[w.rng.Intn(len(w.Frames))]
+		item := w.Items[w.rng.Intn(len(w.Items))]
+		if w.isAssociated(f, item.ID) {
+			continue
+		}
+		key := [2]int{f.ID, item.ID}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, MatchingPair{Frame: f.ID, Item: item.ID, Label: false})
+		negs++
+	}
+	return out
+}
+
+func (w *World) maxPairs() int {
+	total := 0
+	for _, f := range w.Frames {
+		total += len(w.FrameItems(f))
+	}
+	return total
+}
+
+func (w *World) isAssociated(f *Frame, itemID int) bool {
+	item := w.Items[itemID]
+	for _, leafID := range f.Required {
+		if leafID == item.Leaf {
+			if f.Audience >= 0 {
+				if aud := w.itemAudience(item); aud >= 0 && aud != f.Audience {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}

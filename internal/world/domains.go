@@ -1,0 +1,51 @@
+// Package world generates the deterministic synthetic e-commerce universe
+// that substitutes for Alibaba's proprietary data (see DESIGN.md §1). It
+// plants a ground-truth concept net — taxonomy, primitive concepts, shopping
+// scenarios, items — and then emits the corpora the paper's pipeline
+// consumes (queries, titles, reviews, shopping guides, click logs). Every
+// construction module is evaluated against this planted truth.
+package world
+
+// Domain is one of the 20 first-level classes of the AliCoCo taxonomy
+// (Section 3, Figure 3 of the paper).
+type Domain string
+
+// The 20 domains of Table 2.
+const (
+	Category     Domain = "Category"
+	Brand        Domain = "Brand"
+	Color        Domain = "Color"
+	Design       Domain = "Design"
+	Function     Domain = "Function"
+	Material     Domain = "Material"
+	Pattern      Domain = "Pattern"
+	Shape        Domain = "Shape"
+	Smell        Domain = "Smell"
+	Taste        Domain = "Taste"
+	Style        Domain = "Style"
+	Time         Domain = "Time"
+	Location     Domain = "Location"
+	Audience     Domain = "Audience"
+	Event        Domain = "Event"
+	IP           Domain = "IP"
+	Nature       Domain = "Nature"
+	Quantity     Domain = "Quantity"
+	Modifier     Domain = "Modifier"
+	Organization Domain = "Organization"
+)
+
+// Domains lists all 20 first-level classes in a stable order.
+var Domains = []Domain{
+	Category, Brand, Color, Design, Function, Material, Pattern, Shape,
+	Smell, Taste, Style, Time, Location, Audience, Event, IP, Nature,
+	Quantity, Modifier, Organization,
+}
+
+// DomainNames returns the domains as strings, for label sets.
+func DomainNames() []string {
+	out := make([]string, len(Domains))
+	for i, d := range Domains {
+		out[i] = string(d)
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package world
+
+import (
+	"sort"
+	"strings"
+
+	"alicoco/internal/text"
+)
+
+// Frame is a ground-truth shopping scenario — the planted analogue of an
+// e-commerce concept (Section 5). Its Required categories encode the
+// "semantic drift" of Section 6: items a scenario needs that share no
+// surface tokens with the scenario's name.
+type Frame struct {
+	ID         int
+	Tokens     []string
+	Spans      []text.Span // gold primitive-concept labeling of Tokens
+	Primitives []int       // constituent primitive IDs
+	Required   []int       // base-category primitive IDs the scenario needs
+	Audience   int         // audience primitive ID constraint, or -1
+}
+
+// Name returns the space-joined phrase.
+func (f *Frame) Name() string { return strings.Join(f.Tokens, " ") }
+
+// eventRequirements maps each Event word to the base categories a shopper
+// needs for it. This is the core planted world knowledge; glosses and click
+// logs both derive from it.
+var eventRequirements = map[string][]string{
+	"barbecue":     {"grill", "charcoal", "tongs", "apron", "cooler", "butter"},
+	"picnic":       {"blanket", "cooler", "snacks", "hammock", "flask"},
+	"camping":      {"tent", "lantern", "backpack", "compass", "flask", "cooler"},
+	"wedding":      {"dress", "suit", "perfume", "lipstick"},
+	"party":        {"speaker", "snacks", "chocolate", "lamp"},
+	"baking":       {"oven", "whisk", "strainer", "spatula", "butter", "apron"},
+	"hiking":       {"backpack", "boots", "flask", "compass", "hat"},
+	"traveling":    {"backpack", "charger", "camera", "hat"},
+	"swimming":     {"goggles", "sandals", "sunscreen"},
+	"skiing":       {"snowboard", "goggles", "helmet", "gloves", "parka"},
+	"fishing":      {"flask", "hat", "cooler", "boots"},
+	"graduation":   {"camera", "suit", "dress"},
+	"birthday":     {"chocolate", "cookies", "doll", "blocks", "kite"},
+	"housewarming": {"vase", "lamp", "rug", "clock", "mirror"},
+	"marathon":     {"sneakers", "jersey", "flask"},
+	"bathing":      {"shampoo", "lotion"},
+}
+
+// timeRequirements maps seasonal/festival Time words to needed categories.
+var timeRequirements = map[string][]string{
+	"christmas":           {"scarf", "gloves", "sweater", "chocolate", "cookies"},
+	"mid-autumn festival": {"mooncake", "tea"},
+	"new year":            {"lantern", "snacks", "tea"},
+	"winter":              {"coat", "parka", "gloves", "scarf", "blanket"},
+	"summer":              {"shorts", "sandals", "sunscreen", "kite"},
+	"valentine":           {"chocolate", "perfume", "lipstick"},
+	"halloween":           {"snacks", "doll"},
+}
+
+// functionRequirements maps Function words to the categories that deliver
+// that function (e.g. "keep warm for kids" -> coats, gloves...).
+var functionRequirements = map[string][]string{
+	"warm":       {"coat", "parka", "gloves", "scarf", "blanket", "sweater", "hat"},
+	"waterproof": {"boots", "tent", "jacket", "parka"},
+	"portable":   {"charger", "speaker", "flask", "lamp"},
+	"insulated":  {"flask", "cooler", "kettle"},
+}
+
+// Plausibility tables (Section 5.1 criterion 3). Violations make a concept
+// candidate implausible: "sexy baby dress", "warm shoes for swimming",
+// "bathing in the classroom", "casual summer coat" analogues.
+var (
+	incompatModifierAudience = map[string][]string{
+		"sexy":  {"kids", "baby", "toddlers"},
+		"giant": {"baby"},
+	}
+	regionalStyles = []string{"british", "korean", "european", "nordic"}
+
+	incompatEventFunction = map[string][]string{
+		"swimming": {"warm", "insulated", "windproof"},
+		"bathing":  {"windproof"},
+		"skiing":   {"non-stick"},
+	}
+	incompatEventLocation = map[string][]string{
+		"bathing":  {"classroom", "office", "school", "park"},
+		"barbecue": {"office", "classroom"},
+		"skiing":   {"beach", "indoor"},
+		"swimming": {"mountain", "office", "classroom"},
+	}
+	// leaf categories implausible in a given time/season.
+	incompatTimeLeaf = map[string][]string{
+		"summer": {"coat", "parka", "sweater", "snowboard", "gloves", "scarf"},
+		"winter": {"sandals", "shorts", "kite"},
+	}
+)
+
+// EventRequirements exposes the planted event -> needed-categories table
+// (read-only copy) for schema construction and glosses.
+func EventRequirements() map[string][]string { return copyTable(eventRequirements) }
+
+// TimeRequirements exposes the planted time -> needed-categories table.
+func TimeRequirements() map[string][]string { return copyTable(timeRequirements) }
+
+// FunctionRequirements exposes the planted function -> categories table.
+func FunctionRequirements() map[string][]string { return copyTable(functionRequirements) }
+
+// FamilyAttributes exposes the family -> property-domains schema.
+func FamilyAttributes() map[string][]Domain {
+	out := make(map[string][]Domain, len(familyAttributes))
+	for k, v := range familyAttributes {
+		out[k] = append([]Domain(nil), v...)
+	}
+	return out
+}
+
+func copyTable(t map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(t))
+	for k, v := range t {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// Plausible checks a set of primitives against the incompatibility tables
+// and reports the first violated rule, mirroring the commonsense judgment
+// the knowledge-enhanced classifier must learn (Section 5.2.2).
+func (w *World) Plausible(primIDs []int) (bool, string) {
+	names := make(map[Domain][]string)
+	for _, id := range primIDs {
+		p := w.Primitives[id]
+		names[p.Domain] = append(names[p.Domain], p.Name())
+	}
+	contains := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, mod := range names[Modifier] {
+		for _, aud := range incompatModifierAudience[mod] {
+			if contains(names[Audience], aud) {
+				return false, "modifier/audience: " + mod + " + " + aud
+			}
+		}
+	}
+	regional := 0
+	for _, st := range names[Style] {
+		if contains(regionalStyles, st) {
+			regional++
+		}
+	}
+	if regional > 1 {
+		return false, "conflicting regional styles"
+	}
+	for _, ev := range names[Event] {
+		for _, fn := range incompatEventFunction[ev] {
+			if contains(names[Function], fn) {
+				return false, "event/function: " + ev + " + " + fn
+			}
+		}
+		for _, loc := range incompatEventLocation[ev] {
+			if contains(names[Location], loc) {
+				return false, "event/location: " + ev + " + " + loc
+			}
+		}
+	}
+	for _, tm := range names[Time] {
+		for _, leafName := range incompatTimeLeaf[tm] {
+			for _, cat := range names[Category] {
+				if cat == leafName || strings.HasSuffix(cat, " "+leafName) {
+					return false, "time/category: " + tm + " + " + cat
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// frameSpec is a compact, declarative description of a handcrafted frame.
+type frameSpec struct {
+	phrase   string   // tokens with [brackets] marking primitive spans: "[outdoor] [barbecue]"
+	prims    []string // "Domain:surface" for each bracketed span, in order
+	required []string // leaf names; empty means derive from event/time/function tables
+	audience string   // optional audience surface
+}
+
+// Handcrafted scenarios, covering every example the paper mentions.
+var handFrames = []frameSpec{
+	{phrase: "[outdoor] [barbecue]", prims: []string{"Location:outdoor", "Event:barbecue"}},
+	{phrase: "[indoor] [barbecue]", prims: []string{"Location:indoor", "Event:barbecue"},
+		required: []string{"grill", "pan", "apron", "tongs"}},
+	{phrase: "tools for [baking]", prims: []string{"Event:baking"}},
+	{phrase: "[christmas] gifts for [grandpa]", prims: []string{"Time:christmas", "Audience:grandpa"},
+		required: []string{"scarf", "gloves", "tea", "sweater"}, audience: "grandpa"},
+	{phrase: "keep [warm] for [kids]", prims: []string{"Function:warm", "Audience:kids"}, audience: "kids"},
+	{phrase: "[mid-autumn festival] gifts", prims: []string{"Time:mid-autumn festival"}},
+	{phrase: "[camping] trip", prims: []string{"Event:camping"}},
+	{phrase: "[beach] [picnic]", prims: []string{"Location:beach", "Event:picnic"}},
+	{phrase: "[wedding] [party]", prims: []string{"Event:wedding", "Event:party"},
+		required: []string{"dress", "suit", "perfume", "speaker"}},
+	{phrase: "[winter] [skiing]", prims: []string{"Time:winter", "Event:skiing"}},
+	{phrase: "[marathon] for [runners]", prims: []string{"Event:marathon", "Audience:runners"}, audience: "runners"},
+	{phrase: "[baby] care essentials", prims: []string{"Audience:baby"},
+		required: []string{"stroller", "crib", "diaper", "bib", "pacifier", "lotion"}, audience: "baby"},
+	{phrase: "[hiking] in the [mountain]", prims: []string{"Event:hiking", "Location:mountain"}},
+	{phrase: "[fishing] at the [lakeside]", prims: []string{"Event:fishing", "Location:lakeside"}},
+	{phrase: "[housewarming] gifts", prims: []string{"Event:housewarming"}},
+	{phrase: "[birthday] [party] for [kids]", prims: []string{"Event:birthday", "Event:party", "Audience:kids"},
+		required: []string{"chocolate", "cookies", "doll", "blocks", "kite"}, audience: "kids"},
+	{phrase: "[valentine] gifts for [couples]", prims: []string{"Time:valentine", "Audience:couples"}, audience: "couples"},
+	{phrase: "[new year] [party]", prims: []string{"Time:new year", "Event:party"},
+		required: []string{"lantern", "snacks", "tea", "speaker"}},
+	{phrase: "[halloween] [party]", prims: []string{"Time:halloween", "Event:party"},
+		required: []string{"snacks", "doll", "speaker"}},
+	{phrase: "[summer] [swimming]", prims: []string{"Time:summer", "Event:swimming"}},
+	{phrase: "[graduation] season", prims: []string{"Event:graduation"}},
+	{phrase: "[village] [picnic]", prims: []string{"Location:village", "Event:picnic"}},
+	{phrase: "[portable] gear for [traveling]", prims: []string{"Function:portable", "Event:traveling"},
+		required: []string{"charger", "speaker", "flask", "backpack", "camera"}},
+	{phrase: "[waterproof] gear for [camping]", prims: []string{"Function:waterproof", "Event:camping"},
+		required: []string{"boots", "tent", "jacket"}},
+	{phrase: "back to [school] for [students]", prims: []string{"Location:school", "Audience:students"},
+		required: []string{"notebook", "pen", "marker", "backpack", "stapler"}, audience: "students"},
+	{phrase: "[morning] [marathon]", prims: []string{"Time:morning", "Event:marathon"}},
+	{phrase: "[elders] health care", prims: []string{"Audience:elders"},
+		required: []string{"blanket", "kettle", "tea", "slippers"}, audience: "elders"},
+	{phrase: "[weekend] [fishing]", prims: []string{"Time:weekend", "Event:fishing"}},
+	{phrase: "[bathing] time for [baby]", prims: []string{"Event:bathing", "Audience:baby"},
+		required: []string{"shampoo", "lotion", "bib"}, audience: "baby"},
+	{phrase: "[garden] [barbecue]", prims: []string{"Location:garden", "Event:barbecue"}},
+}
+
+// parseSpecPhrase splits a bracketed phrase into tokens and spans. Each
+// [...] group is one primitive span; its label is filled by the caller.
+func parseSpecPhrase(phrase string) ([]string, [][2]int) {
+	var tokens []string
+	var spans [][2]int
+	for _, field := range strings.Fields(phrase) {
+		start := strings.HasPrefix(field, "[")
+		end := strings.HasSuffix(field, "]")
+		word := strings.Trim(field, "[]")
+		if start {
+			spans = append(spans, [2]int{len(tokens), -1})
+		}
+		tokens = append(tokens, word)
+		if end {
+			spans[len(spans)-1][1] = len(tokens)
+		}
+	}
+	return tokens, spans
+}
+
+func (w *World) buildFrames() {
+	for _, spec := range handFrames {
+		w.addFrame(spec)
+	}
+	w.generateFrames()
+}
+
+// addFrame materializes a frameSpec, resolving primitives and deriving the
+// required categories from the knowledge tables when not given explicitly.
+func (w *World) addFrame(spec frameSpec) *Frame {
+	tokens, rawSpans := parseSpecPhrase(spec.phrase)
+	if len(rawSpans) != len(spec.prims) {
+		panic("world: frame spec span/prim mismatch: " + spec.phrase)
+	}
+	f := &Frame{ID: len(w.Frames), Tokens: tokens, Audience: -1}
+	reqSet := make(map[string]bool)
+	for i, ps := range spec.prims {
+		parts := strings.SplitN(ps, ":", 2)
+		d, surface := Domain(parts[0]), parts[1]
+		id := w.PrimByName(d, surface)
+		if id < 0 {
+			panic("world: unknown primitive in frame spec: " + ps)
+		}
+		f.Primitives = append(f.Primitives, id)
+		f.Spans = append(f.Spans, text.Span{Start: rawSpans[i][0], End: rawSpans[i][1], Label: string(d)})
+		if len(spec.required) == 0 {
+			for _, leaf := range eventRequirements[surface] {
+				reqSet[leaf] = true
+			}
+			for _, leaf := range timeRequirements[surface] {
+				reqSet[leaf] = true
+			}
+			for _, leaf := range functionRequirements[surface] {
+				reqSet[leaf] = true
+			}
+		}
+	}
+	for _, leaf := range spec.required {
+		reqSet[leaf] = true
+	}
+	for leaf := range reqSet {
+		id, ok := w.LeafByName[leaf]
+		if !ok {
+			panic("world: unknown leaf in frame requirements: " + leaf)
+		}
+		f.Required = append(f.Required, id)
+	}
+	sort.Ints(f.Required)
+	if spec.audience != "" {
+		f.Audience = w.PrimByName(Audience, spec.audience)
+	}
+	if len(f.Required) == 0 {
+		panic("world: frame with no requirements: " + spec.phrase)
+	}
+	w.Frames = append(w.Frames, f)
+	return f
+}
+
+// generateFrames scales the scenario layer with pattern-generated frames
+// ("[function] [leaf] for [event]" etc.), keeping only plausible combos —
+// the combination generation of Section 5.2.1.
+func (w *World) generateFrames() {
+	events := make([]string, 0, len(eventRequirements))
+	for ev := range eventRequirements {
+		events = append(events, ev)
+	}
+	sort.Strings(events)
+	seen := make(map[string]bool)
+	for _, f := range w.Frames {
+		seen[f.Name()] = true
+	}
+	tries := 0
+	for len(w.Frames) < len(handFrames)+w.Cfg.GeneratedFrames && tries < w.Cfg.GeneratedFrames*30 {
+		tries++
+		ev := events[w.rng.Intn(len(events))]
+		req := eventRequirements[ev]
+		leaf := req[w.rng.Intn(len(req))]
+		switch w.rng.Intn(3) {
+		case 0: // "<function> <leaf> for <event>"
+			fn := functionWords[w.rng.Intn(len(functionWords))]
+			fnID := w.PrimByName(Function, fn)
+			evID := w.PrimByName(Event, ev)
+			leafID := w.LeafByName[leaf]
+			if okp, _ := w.Plausible([]int{fnID, evID, leafID}); !okp {
+				continue
+			}
+			phrase := "[" + fn + "] [" + leaf + "] for [" + ev + "]"
+			if seen[strings.ReplaceAll(strings.ReplaceAll(phrase, "[", ""), "]", "")] {
+				continue
+			}
+			spec := frameSpec{
+				phrase:   phrase,
+				prims:    []string{"Function:" + fn, "Category:" + leaf, "Event:" + ev},
+				required: []string{leaf},
+			}
+			seen[w.addFrame(spec).Name()] = true
+		case 1: // "<time> <event>"
+			tm := timeWords[w.rng.Intn(len(timeWords))]
+			tmID := w.PrimByName(Time, tm)
+			evID := w.PrimByName(Event, ev)
+			if okp, _ := w.Plausible(append([]int{tmID, evID}, w.leafIDs(req)...)); !okp {
+				continue
+			}
+			name := tm + " " + ev
+			if seen[name] {
+				continue
+			}
+			spec := frameSpec{
+				phrase: "[" + tm + "] [" + ev + "]",
+				prims:  []string{"Time:" + tm, "Event:" + ev},
+			}
+			seen[w.addFrame(spec).Name()] = true
+		default: // "<event> essentials for <audience>"
+			aud := audienceWords[w.rng.Intn(len(audienceWords))]
+			name := ev + " essentials for " + aud
+			if seen[name] {
+				continue
+			}
+			spec := frameSpec{
+				phrase:   "[" + ev + "] essentials for [" + aud + "]",
+				prims:    []string{"Event:" + ev, "Audience:" + aud},
+				audience: aud,
+			}
+			seen[w.addFrame(spec).Name()] = true
+		}
+	}
+}
+
+func (w *World) leafIDs(names []string) []int {
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		if id, ok := w.LeafByName[n]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// categoryFamily is one subtree of the Category domain: a family name, an
+// optional intermediate layer, and base (leaf) categories. Base categories
+// are the units items belong to; compound concepts ("cotton dress") hang off
+// them.
+type categoryFamily struct {
+	Name   string
+	Mid    map[string][]string // intermediate class -> leaves under it
+	Leaves []string            // leaves directly under the family
+}
+
+// The Category subtree. Families mirror Figure 3's
+// "Category -> ClothingAndAccessory -> Clothing -> Dress" style paths.
+var categoryFamilies = []categoryFamily{
+	{
+		Name: "clothing",
+		Mid: map[string][]string{
+			"outerwear": {"coat", "jacket", "trench", "parka"},
+			"tops":      {"shirt", "sweater", "hoodie", "blouse"},
+			"bottoms":   {"pants", "trousers", "skirt", "jeans", "shorts"},
+		},
+		Leaves: []string{"dress", "hat", "scarf", "gloves", "socks", "suit"},
+	},
+	{
+		Name:   "footwear",
+		Leaves: []string{"sneakers", "boots", "sandals", "slippers", "loafers"},
+	},
+	{
+		Name:   "kitchen",
+		Leaves: []string{"grill", "pan", "pot", "kettle", "oven", "blender", "whisk", "strainer", "spatula", "apron", "tongs"},
+	},
+	{
+		Name:   "food",
+		Leaves: []string{"snacks", "mooncake", "chocolate", "tea", "coffee", "honey", "noodles", "cookies", "butter", "jam"},
+	},
+	{
+		Name:   "outdoor",
+		Leaves: []string{"tent", "lantern", "charcoal", "cooler", "hammock", "backpack", "compass", "flask"},
+	},
+	{
+		Name:   "electronics",
+		Leaves: []string{"phone", "laptop", "camera", "headphones", "speaker", "charger", "tablet", "drone"},
+	},
+	{
+		Name:   "beauty",
+		Leaves: []string{"lipstick", "perfume", "shampoo", "sunscreen", "lotion", "mascara"},
+	},
+	{
+		Name:   "home",
+		Leaves: []string{"curtain", "pillow", "blanket", "lamp", "vase", "rug", "mirror", "clock"},
+	},
+	{
+		Name:   "baby",
+		Leaves: []string{"stroller", "crib", "diaper", "bib", "rattle", "pacifier"},
+	},
+	{
+		Name:   "sports",
+		Leaves: []string{"racket", "dumbbell", "helmet", "skates", "jersey", "goggles", "kayak", "snowboard"},
+	},
+	{
+		Name:   "toys",
+		Leaves: []string{"puzzle", "doll", "blocks", "kite", "marbles"},
+	},
+	{
+		Name:   "stationery",
+		Leaves: []string{"notebook", "pen", "marker", "easel", "stapler"},
+	},
+}
+
+// Flat word lists per non-category domain.
+var (
+	colorWords = []string{
+		"red", "blue", "green", "black", "white", "pink", "purple", "yellow",
+		"beige", "navy", "crimson", "teal", "ivory", "olive", "maroon", "lavender",
+	}
+	designWords = []string{
+		"hooded", "sleeveless", "high-waist", "oversized", "slim-fit", "pleated",
+		"quilted", "collared", "zippered", "layered",
+	}
+	functionWords = []string{
+		"waterproof", "warm", "windproof", "breathable", "non-stick", "portable",
+		"foldable", "rechargeable", "anti-slip", "insulated", "wireless", "reflective",
+	}
+	materialWords = []string{
+		"cotton", "wool", "leather", "silk", "denim", "linen", "bamboo", "ceramic",
+		"steel", "plastic", "glass", "wooden", "rubber", "velvet", "cashmere",
+	}
+	patternWords = []string{
+		"striped", "floral", "plaid", "polka-dot", "camouflage", "geometric", "paisley",
+	}
+	shapeWords = []string{
+		"round", "square", "oval", "curved", "hexagonal", "tapered",
+	}
+	smellWords = []string{
+		"lavender", "citrus", "vanilla", "musk", "sandalwood", "jasmine", "minty",
+	}
+	tasteWords = []string{
+		"sweet", "spicy", "salty", "sour", "bitter", "matcha", "umami",
+	}
+	styleWords = []string{
+		"casual", "vintage", "modern", "british", "korean", "european", "nordic",
+		"bohemian", "minimalist", "sporty", "elegant", "rustic", "village", "preppy",
+	}
+	timeWords = []string{
+		"winter", "summer", "spring", "autumn", "christmas", "halloween", "weekend",
+		"morning", "evening", "mid-autumn festival", "new year", "valentine",
+	}
+	locationWords = []string{
+		"outdoor", "indoor", "beach", "mountain", "office", "school", "classroom",
+		"garden", "park", "village", "city", "lakeside", "campsite", "balcony",
+	}
+	audienceWords = []string{
+		"kids", "baby", "men", "women", "elders", "teens", "students", "toddlers",
+		"grandpa", "grandma", "couples", "runners", "hikers",
+	}
+	eventWords = []string{
+		"barbecue", "picnic", "camping", "wedding", "party", "baking", "hiking",
+		"traveling", "swimming", "skiing", "fishing", "graduation", "birthday",
+		"housewarming", "marathon", "bathing",
+	}
+	natureWords = []string{
+		"handmade", "organic", "eco-friendly", "recyclable", "vegan", "hypoallergenic",
+	}
+	quantityWords = []string{
+		"pair", "set", "pack", "dozen", "bundle",
+	}
+	modifierWords = []string{
+		"sexy", "luxury", "budget", "premium", "mini", "giant", "classic", "deluxe", "compact",
+	}
+)
+
+// ambiguousSurfaces lists surface forms that legitimately belong to two
+// domains — the disambiguation cases that motivate the fuzzy CRF (Figure 7:
+// "village" is both a Location and a Style). The paper notes the phenomenon
+// is severe for short concepts, so the planted world makes it dense.
+var ambiguousSurfaces = map[string][2]Domain{
+	"village":    {Location, Style},
+	"lavender":   {Color, Smell},
+	"matcha":     {Taste, Color},
+	"christmas":  {Time, Event},
+	"halloween":  {Time, Event},
+	"valentine":  {Time, Event},
+	"vintage":    {Style, Time},
+	"denim":      {Material, Style},
+	"camouflage": {Pattern, Style},
+	"minty":      {Smell, Taste},
+	"citrus":     {Smell, Taste},
+	"bamboo":     {Material, Nature},
+}
+
+// brand/ip/organization pseudo-word syllables.
+var (
+	brandSyllA = []string{"zo", "mi", "ka", "ve", "lu", "ta", "no", "ri", "su", "be", "fa", "ori"}
+	brandSyllB = []string{"rel", "vat", "lan", "mor", "dex", "bon", "tis", "zen", "qui", "nor", "gal", "pex"}
+	brandSyllC = []string{"la", "to", "ne", "ra", "x", "on", "ix", "ia", "us", "eo", "ic", "ar"}
+)
+
+// makeBrandNames deterministically generates n distinct pseudo-brand names.
+func makeBrandNames(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for len(out) < n {
+		name := brandSyllA[rng.Intn(len(brandSyllA))] +
+			brandSyllB[rng.Intn(len(brandSyllB))] +
+			brandSyllC[rng.Intn(len(brandSyllC))]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+		if len(seen) >= len(brandSyllA)*len(brandSyllB)*len(brandSyllC) {
+			break
+		}
+	}
+	// If the syllable space is exhausted, extend with numbered names.
+	for i := 0; len(out) < n; i++ {
+		out = append(out, fmt.Sprintf("brandia%d", i))
+	}
+	return out
+}
+
+var ipAdjectives = []string{"galaxy", "star", "ocean", "shadow", "crystal", "thunder", "ember", "frost", "mystic", "neon"}
+var ipNouns = []string{"quest", "wanderer", "legend", "saga", "knights", "kingdom", "chronicles", "odyssey", "racers", "guardians"}
+
+// makeIPNames generates two-token fictional-franchise names.
+func makeIPNames(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for len(out) < n && len(seen) < len(ipAdjectives)*len(ipNouns) {
+		name := ipAdjectives[rng.Intn(len(ipAdjectives))] + " " + ipNouns[rng.Intn(len(ipNouns))]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for i := 0; len(out) < n; i++ {
+		out = append(out, fmt.Sprintf("saga%d world", i))
+	}
+	return out
+}
+
+var orgSuffixes = []string{"corp", "labs", "works", "group", "union", "guild"}
+
+// makeOrgNames generates organization names.
+func makeOrgNames(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for len(out) < n && len(seen) < len(brandSyllA)*len(orgSuffixes) {
+		name := brandSyllA[rng.Intn(len(brandSyllA))] + brandSyllB[rng.Intn(len(brandSyllB))] + " " + orgSuffixes[rng.Intn(len(orgSuffixes))]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for i := 0; len(out) < n; i++ {
+		out = append(out, fmt.Sprintf("org%d group", i))
+	}
+	return out
+}
+
+// familyAttributes maps a category family to the property domains its items
+// plausibly carry — the schema of Section 3 ("suitable_when" etc. are in
+// frames.go).
+var familyAttributes = map[string][]Domain{
+	"clothing":    {Color, Material, Style, Pattern, Design, Function, Audience},
+	"footwear":    {Color, Material, Style, Function, Audience},
+	"kitchen":     {Material, Function, Shape, Color},
+	"food":        {Taste, Smell, Nature, Quantity},
+	"outdoor":     {Function, Material, Color, Shape},
+	"electronics": {Color, Function, Quantity},
+	"beauty":      {Smell, Nature, Audience},
+	"home":        {Color, Material, Pattern, Style, Shape},
+	"baby":        {Color, Material, Nature, Audience},
+	"sports":      {Color, Function, Material, Audience},
+	"toys":        {Color, Material, Audience, Shape},
+	"stationery":  {Color, Shape, Quantity},
+}
