@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"alicoco/internal/apps/recommend"
 	"alicoco/internal/apps/search"
@@ -48,8 +50,24 @@ func Default() Options {
 }
 
 // CoCo is a built concept net plus its application engines.
+//
+// All query methods read one servingState loaded atomically, so they are
+// safe to call concurrently with InferImplicitRelations (which publishes a
+// fresh snapshot by swapping the pointer, never by mutating one in place).
 type CoCo struct {
-	arts   *pipeline.Artifacts
+	arts    *pipeline.Artifacts
+	offline sync.Mutex // serializes offline mutation + refreeze cycles
+	serving atomic.Pointer[servingState]
+
+	// itemByNode maps net item nodes back to facade Items. Node IDs and
+	// the world are fixed after Build, so this is computed once.
+	itemByNode map[core.NodeID]Item
+}
+
+// servingState bundles a frozen snapshot with the engines built on it, so
+// snapshot and engines always swap together.
+type servingState struct {
+	frozen *core.FrozenNet
 	search *search.Engine
 	rec    *recommend.Engine
 }
@@ -67,11 +85,35 @@ func Build(opts Options) (*CoCo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CoCo{
-		arts:   arts,
-		search: search.NewEngine(arts.Net, arts.World.Stopwords()),
-		rec:    recommend.NewEngine(arts.Net),
-	}, nil
+	// Serving always runs on the frozen snapshot: lock-free, zero-alloc
+	// reads, postings pre-sorted at freeze time.
+	c := &CoCo{arts: arts, itemByNode: buildItemIndex(arts)}
+	c.publish(arts.Frozen)
+	return c, nil
+}
+
+func buildItemIndex(arts *pipeline.Artifacts) map[core.NodeID]Item {
+	rev := make(map[core.NodeID]Item, len(arts.ItemNode))
+	for wid, nid := range arts.ItemNode {
+		it := arts.World.Items[wid]
+		rev[nid] = Item{ID: wid, Title: strings.Join(it.Title, " "), Category: arts.World.Prim(it.Leaf).Name()}
+	}
+	return rev
+}
+
+// publish swaps in a serving state built on the given snapshot.
+func (c *CoCo) publish(frozen *core.FrozenNet) {
+	c.serving.Store(&servingState{
+		frozen: frozen,
+		search: search.NewEngine(frozen, c.arts.World.Stopwords()),
+		rec:    recommend.NewEngine(frozen),
+	})
+}
+
+// refreeze publishes the live net's current state to the serving engines
+// after an offline mutation.
+func (c *CoCo) refreeze() {
+	c.publish(c.arts.Refreeze())
 }
 
 // SaveSnapshot writes the net to a file.
@@ -95,9 +137,11 @@ type Stats struct {
 	AvgItemsPerEConcept                   float64
 }
 
-// Stats computes current statistics.
+// Stats computes statistics of the published serving snapshot, so its
+// counts always describe a state that queries actually served (never a
+// half-materialized net mid-inference).
 func (c *CoCo) Stats() Stats {
-	s := c.arts.Net.ComputeStats()
+	s := c.serving.Load().frozen.ComputeStats()
 	return Stats{
 		Classes:              s.PerKind["class"],
 		Primitives:           s.PerKind["primitive"],
@@ -163,7 +207,7 @@ type SearchResult struct {
 
 // Search answers a free-text query with concept cards and item hits.
 func (c *CoCo) Search(query string, maxItems int) SearchResult {
-	resp := c.search.Search(query, maxItems)
+	resp := c.serving.Load().search.Search(query, maxItems)
 	var out SearchResult
 	for _, card := range resp.Cards {
 		out.Cards = append(out.Cards, ConceptCard{Name: card.Name, Items: c.itemsOf(card.Items)})
@@ -173,23 +217,13 @@ func (c *CoCo) Search(query string, maxItems int) SearchResult {
 }
 
 func (c *CoCo) itemsOf(ids []core.NodeID) []Item {
-	rev := c.itemByNode()
 	var out []Item
 	for _, id := range ids {
-		if it, ok := rev[id]; ok {
+		if it, ok := c.itemByNode[id]; ok {
 			out = append(out, it)
 		}
 	}
 	return out
-}
-
-func (c *CoCo) itemByNode() map[core.NodeID]Item {
-	rev := make(map[core.NodeID]Item, len(c.arts.ItemNode))
-	for wid, nid := range c.arts.ItemNode {
-		it := c.arts.World.Items[wid]
-		rev[nid] = Item{ID: wid, Title: strings.Join(it.Title, " "), Category: c.arts.World.Prim(it.Leaf).Name()}
-	}
-	return rev
 }
 
 // Recommendation is a concept card with its user-facing reason string.
@@ -207,11 +241,12 @@ func (c *CoCo) Recommend(viewedItemIDs []int, k int) (Recommendation, bool) {
 			viewed = append(viewed, node)
 		}
 	}
-	rec, ok := c.rec.Recommend(viewed, k)
+	s := c.serving.Load()
+	rec, ok := s.rec.Recommend(viewed, k)
 	if !ok {
 		return Recommendation{}, false
 	}
-	nd, _ := c.arts.Net.Node(rec.Concept)
+	nd, _ := s.frozen.Node(rec.Concept)
 	return Recommendation{
 		Reason: rec.Reason,
 		Card:   ConceptCard{Name: nd.Name, Items: c.itemsOf(rec.Items)},
@@ -229,14 +264,15 @@ type Concept struct {
 // Concepts lists every e-commerce concept.
 func (c *CoCo) Concepts() []Concept {
 	var out []Concept
-	for _, id := range c.arts.Net.NodesOfKind(core.KindEConcept) {
-		nd, _ := c.arts.Net.Node(id)
+	net := c.serving.Load().frozen
+	for _, id := range net.NodesOfKind(core.KindEConcept) {
+		nd, _ := net.Node(id)
 		cpt := Concept{Name: nd.Name}
-		for _, he := range c.arts.Net.PrimitivesForEConcept(id) {
-			p, _ := c.arts.Net.Node(he.Peer)
+		for _, he := range net.PrimitivesForEConcept(id) {
+			p, _ := net.Node(he.Peer)
 			cpt.Primitives = append(cpt.Primitives, p.Domain+":"+p.Name)
 		}
-		cpt.ItemCount = len(c.arts.Net.ItemsForEConcept(id, 0))
+		cpt.ItemCount = len(net.ItemsForEConcept(id, 0))
 		out = append(out, cpt)
 	}
 	return out
@@ -244,17 +280,18 @@ func (c *CoCo) Concepts() []Concept {
 
 // LookupConcept returns one concept by name.
 func (c *CoCo) LookupConcept(name string) (Concept, bool) {
-	id := c.arts.Net.FirstByNameKind(strings.ToLower(name), core.KindEConcept)
+	net := c.serving.Load().frozen
+	id := net.FirstByNameKind(strings.ToLower(name), core.KindEConcept)
 	if id == core.InvalidNode {
 		return Concept{}, false
 	}
-	nd, _ := c.arts.Net.Node(id)
+	nd, _ := net.Node(id)
 	cpt := Concept{Name: nd.Name}
-	for _, he := range c.arts.Net.PrimitivesForEConcept(id) {
-		p, _ := c.arts.Net.Node(he.Peer)
+	for _, he := range net.PrimitivesForEConcept(id) {
+		p, _ := net.Node(he.Peer)
 		cpt.Primitives = append(cpt.Primitives, p.Domain+":"+p.Name)
 	}
-	cpt.ItemCount = len(c.arts.Net.ItemsForEConcept(id, 0))
+	cpt.ItemCount = len(net.ItemsForEConcept(id, 0))
 	return cpt, true
 }
 
@@ -271,14 +308,15 @@ func (c *CoCo) SampleSessions(n int) [][]int {
 
 // Hypernyms returns the isA ancestors of a primitive concept surface.
 func (c *CoCo) Hypernyms(name string) []string {
-	id := c.arts.Net.FirstByNameKind(strings.ToLower(name), core.KindPrimitive)
+	net := c.serving.Load().frozen
+	id := net.FirstByNameKind(strings.ToLower(name), core.KindPrimitive)
 	if id == core.InvalidNode {
 		return nil
 	}
 	var out []string
 	seen := map[string]bool{strings.ToLower(name): true}
-	for _, a := range c.arts.Net.Ancestors(id, 0) {
-		nd, _ := c.arts.Net.Node(a)
+	for _, a := range net.Ancestors(id, 0) {
+		nd, _ := net.Node(a)
 		if (nd.Kind == core.KindPrimitive || nd.Kind == core.KindClass) && !seen[nd.Name] {
 			seen[nd.Name] = true
 			out = append(out, nd.Name)
@@ -307,14 +345,19 @@ type ImpliedRelation struct {
 	Coverage  float64
 }
 
-// InferImplicitRelations mines implied concept-primitive relations and
-// materializes them into the net as weighted "implied" interpretation edges.
+// InferImplicitRelations mines implied concept-primitive relations from the
+// frozen snapshot, materializes them into the live net as weighted
+// "implied" interpretation edges, and re-freezes so the serving engines see
+// the new knowledge.
 func (c *CoCo) InferImplicitRelations() ([]ImpliedRelation, error) {
-	m := inference.NewMiner(c.arts.Net, inference.DefaultConfig())
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	m := inference.NewMiner(c.serving.Load().frozen, inference.DefaultConfig())
 	rels := m.InferAll()
-	if _, err := m.Materialize(rels); err != nil {
+	if _, err := m.Materialize(c.arts.Net, rels); err != nil {
 		return nil, err
 	}
+	c.refreeze()
 	out := make([]ImpliedRelation, 0, len(rels))
 	for _, r := range rels {
 		cn, _ := c.arts.Net.Node(r.Concept)

@@ -149,3 +149,27 @@ func TestInferImplicitRelations(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentServeDuringRefreeze drives queries while inference
+// re-freezes and swaps the serving snapshot; run with -race to prove the
+// atomic swap is sound.
+func TestConcurrentServeDuringRefreeze(t *testing.T) {
+	c := buildSmall(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.InferImplicitRelations(); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c.Search("outdoor barbecue", 5)
+		c.Hypernyms("coat")
+		c.LookupConcept("outdoor barbecue")
+	}
+	<-done
+	// After the swap, serving still answers.
+	if res := c.Search("outdoor barbecue", 5); len(res.Cards) == 0 {
+		t.Fatal("no card after refreeze")
+	}
+}

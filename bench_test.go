@@ -359,3 +359,110 @@ func BenchmarkNetQueries(b *testing.B) {
 		a.Net.Ancestors(coat, 0)
 	}
 }
+
+// --- frozen-vs-locked serving benchmarks -------------------------------
+//
+// Each BenchmarkFrozenVsLocked* pair runs the identical read workload
+// against the mutex-guarded *core.Net and the immutable *core.FrozenNet
+// snapshot. These are the paper's online serving paths (Section 8), so the
+// frozen side is expected to be several times faster with ~0 allocs/op;
+// scripts/bench.sh records the trajectory in BENCH_core.json.
+
+// lockedVsFrozen runs fn once per iteration against each store. fn gets
+// the sub-benchmark's own *testing.B so failures land on the right
+// goroutine.
+func lockedVsFrozen(b *testing.B, a *pipeline.Artifacts, fn func(b *testing.B, net core.Reader)) {
+	b.Helper()
+	frozen := a.Frozen
+	b.Run("locked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn(b, a.Net)
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn(b, frozen)
+		}
+	})
+}
+
+// BenchmarkFrozenVsLockedOut measures the innermost read: kind-filtered
+// adjacency of a well-connected e-commerce concept node.
+func BenchmarkFrozenVsLockedOut(b *testing.B) {
+	a := benchArtifacts(b)
+	concept := a.Net.FirstByNameKind("outdoor barbecue", core.KindEConcept)
+	lockedVsFrozen(b, a, func(_ *testing.B, net core.Reader) {
+		net.Out(concept, core.EdgeInterpretedBy)
+		net.In(concept, core.EdgeItemEConcept)
+	})
+}
+
+// BenchmarkFrozenVsLockedTraversal measures the isA BFS used by hypernym
+// lookups and relevance expansion.
+func BenchmarkFrozenVsLockedTraversal(b *testing.B) {
+	a := benchArtifacts(b)
+	coat := a.Net.FirstByNameKind("coat", core.KindPrimitive)
+	item := a.Net.NodesOfKind(core.KindItem)[0]
+	cat := a.Net.FirstByNameKind("category", core.KindClass)
+	lockedVsFrozen(b, a, func(_ *testing.B, net core.Reader) {
+		net.Ancestors(coat, 0)
+		net.IsAncestor(item, cat)
+	})
+}
+
+// BenchmarkFrozenVsLockedConceptCard measures concept-card assembly (the
+// Figure 2 search surface): weight-ranked item postings for a concept.
+func BenchmarkFrozenVsLockedConceptCard(b *testing.B) {
+	a := benchArtifacts(b)
+	concept := a.Net.FirstByNameKind("outdoor barbecue", core.KindEConcept)
+	lockedVsFrozen(b, a, func(_ *testing.B, net core.Reader) {
+		net.ItemsForEConcept(concept, 10)
+	})
+}
+
+// BenchmarkFrozenVsLockedRecommend measures one cognitive recommendation
+// (Section 8.2): concept voting over a session plus unseen-item selection.
+func BenchmarkFrozenVsLockedRecommend(b *testing.B) {
+	a := benchArtifacts(b)
+	raw := a.World.ClickLog(20)
+	var viewed []core.NodeID
+	for _, id := range raw[0].Viewed {
+		viewed = append(viewed, a.ItemNode[id])
+	}
+	lockedVsFrozen(b, a, func(b *testing.B, net core.Reader) {
+		engine := recommend.NewEngine(net)
+		if _, ok := engine.Recommend(viewed, 10); !ok {
+			b.Fatal("no recommendation")
+		}
+	})
+}
+
+// BenchmarkFrozenVsLockedNodesOfKind measures the per-layer index: the
+// locked net scans all nodes, the snapshot returns a precomputed slice.
+func BenchmarkFrozenVsLockedNodesOfKind(b *testing.B) {
+	a := benchArtifacts(b)
+	lockedVsFrozen(b, a, func(_ *testing.B, net core.Reader) {
+		net.NodesOfKind(core.KindEConcept)
+	})
+}
+
+// BenchmarkFrozenSearchEngine measures an end-to-end query through the
+// search engine on each store.
+func BenchmarkFrozenSearchEngine(b *testing.B) {
+	a := benchArtifacts(b)
+	frozen := a.Frozen
+	for _, tc := range []struct {
+		name string
+		net  core.Reader
+	}{{"locked", a.Net}, {"frozen", frozen}} {
+		engine := search.NewEngine(tc.net, a.World.Stopwords())
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.Search("outdoor barbecue", 10)
+			}
+		})
+	}
+}

@@ -105,6 +105,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}
+	// Build freezes the net into an immutable CSR snapshot; every handler
+	// below reads that snapshot lock-free, so request handling never
+	// contends with anything.
+	frozen := coco.Internal().Frozen
+	log.Printf("serving from frozen snapshot: %d nodes, %d edges", frozen.NumNodes(), frozen.NumEdges())
 	s := &server{coco: coco}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)

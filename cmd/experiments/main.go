@@ -68,9 +68,13 @@ func buildTestbed(scale string) *testbed {
 	if scale == "tiny" {
 		opts = pipeline.TinyOptions()
 	}
-	// Stronger embeddings for the model experiments.
+	// Stronger embeddings for the model experiments. Workers=1 keeps
+	// training bit-exact deterministic so the reproduced tables are
+	// stable across reruns and machines (the serving pipeline defaults
+	// to parallel training; reproduction trades speed for exactness).
 	opts.W2V.Dim = 32
 	opts.W2V.Epochs = 10
+	opts.W2V.Workers = 1
 	arts, err := pipeline.Build(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "build failed:", err)
@@ -398,8 +402,10 @@ func expTable6(tb *testbed) {
 // ------------------------------------------------------------ coverage ----
 
 func expCoverage(tb *testbed) {
-	full := search.NewEngine(tb.arts.Net, tb.arts.World.Stopwords())
-	cpv := search.NewCPVEngine(tb.arts.Net, tb.arts.World.Stopwords())
+	// Engines serve from the frozen snapshot; MeasureCoverage fans each
+	// day's queries out across GOMAXPROCS workers.
+	full := search.NewEngine(tb.arts.Frozen, tb.arts.World.Stopwords())
+	cpv := search.NewCPVEngine(tb.arts.Frozen, tb.arts.World.Stopwords())
 	days := 30
 	perDay := 2000
 	if tb.scale == "tiny" {
@@ -437,9 +443,10 @@ func expSearch(tb *testbed) {
 	if tb.scale == "tiny" {
 		n = 400
 	}
-	cases := search.BuildRelevanceCases(tb.arts.Net, n, 3)
-	plain := search.EvalRelevance(tb.arts.Net, cases, false)
-	expanded := search.EvalRelevance(tb.arts.Net, cases, true)
+	// Case scoring fans out across workers against the frozen snapshot.
+	cases := search.BuildRelevanceCases(tb.arts.Frozen, n, 3)
+	plain := search.EvalRelevance(tb.arts.Frozen, cases, false)
+	expanded := search.EvalRelevance(tb.arts.Frozen, cases, true)
 	fmt.Println("Section 8.1.1 search relevance with isA expansion.")
 	fmt.Println("Paper: +1% AUC offline; -4% relevance bad cases online.")
 	fmt.Println()
@@ -478,7 +485,7 @@ func expRecommend(tb *testbed) {
 			sessions = append(sessions, [2][]core.NodeID{viewed, clicked})
 		}
 	}
-	engine := recommend.NewEngine(tb.arts.Net)
+	engine := recommend.NewEngine(tb.arts.Frozen)
 	cf := recommend.NewItemCF(history)
 	ranker := recommend.CoViewScore(cf)
 	conceptRec := func(viewed []core.NodeID, k int) []core.NodeID {
@@ -496,9 +503,11 @@ func expRecommend(tb *testbed) {
 		return rec.Items
 	}
 	k := 10
-	resConcept := recommend.Replay(tb.arts.Net, conceptRec, sessions, k)
-	resRanked := recommend.Replay(tb.arts.Net, conceptRanked, sessions, k)
-	resCF := recommend.Replay(tb.arts.Net, cf.Recommend, sessions, k)
+	// Replay fans sessions out across workers; the engines read the frozen
+	// snapshot lock-free.
+	resConcept := recommend.Replay(tb.arts.Frozen, conceptRec, sessions, k)
+	resRanked := recommend.Replay(tb.arts.Frozen, conceptRanked, sessions, k)
+	resCF := recommend.Replay(tb.arts.Frozen, cf.Recommend, sessions, k)
 	fmt.Println("Section 8.2.1 cognitive recommendation, offline replay (CTR proxy = hit rate on held-out clicks).")
 	fmt.Println("Paper: concept recall followed by a ranking model, in production >1 year with high CTR.")
 	fmt.Println()

@@ -1,0 +1,3 @@
+module alicoco
+
+go 1.21

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"alicoco/internal/core"
+	"alicoco/internal/par"
 )
 
 // Recommendation is a Figure 2(b/c) card: a concept, the reason string shown
@@ -17,13 +18,16 @@ type Recommendation struct {
 	Items   []core.NodeID
 }
 
-// Engine recommends via the concept net.
+// Engine recommends via the concept net. It reads through core.Reader, so
+// production serving runs on a frozen snapshot with lock-free lookups and
+// pre-sorted item postings; Engine methods are safe for concurrent use when
+// the reader is.
 type Engine struct {
-	net *core.Net
+	net core.Reader
 }
 
-// NewEngine wraps a net.
-func NewEngine(net *core.Net) *Engine { return &Engine{net: net} }
+// NewEngine wraps a net (live or frozen).
+func NewEngine(net core.Reader) *Engine { return &Engine{net: net} }
 
 // Recommend infers the user's latent shopping scenario from viewed items
 // (each viewed item votes for the e-commerce concepts it serves), then
@@ -197,21 +201,28 @@ type Recommender func(viewed []core.NodeID, k int) []core.NodeID
 
 // Replay evaluates a recommender on test sessions: for each session the
 // recommender sees the viewed items and is scored on whether it retrieves
-// the held-out clicked items.
-func Replay(net *core.Net, rec Recommender, sessions [][2][]core.NodeID, k int) EvalResult {
-	var res EvalResult
-	nSessions := 0
-	for _, s := range sessions {
-		viewed, clicked := s[0], s[1]
+// the held-out clicked items. Sessions are independent, so they fan out
+// across GOMAXPROCS workers — rec must be safe for concurrent calls (the
+// Engine and ItemCF recommenders are). Per-session outcomes land in
+// index-addressed slots and are reduced in session order, so the result is
+// deterministic regardless of scheduling.
+func Replay(net core.Reader, rec Recommender, sessions [][2][]core.NodeID, k int) EvalResult {
+	type outcome struct {
+		counted, covered bool
+		hit, novelty     float64
+	}
+	outs := make([]outcome, len(sessions))
+	par.For(0, len(sessions), func(i int) {
+		viewed, clicked := sessions[i][0], sessions[i][1]
 		if len(viewed) == 0 || len(clicked) == 0 {
-			continue
+			return
 		}
-		nSessions++
+		outs[i].counted = true
 		items := rec(viewed, k)
 		if len(items) == 0 {
-			continue
+			return
 		}
-		res.Covered++
+		outs[i].covered = true
 		clickSet := make(map[core.NodeID]bool, len(clicked))
 		for _, c := range clicked {
 			clickSet[c] = true
@@ -226,8 +237,22 @@ func Replay(net *core.Net, rec Recommender, sessions [][2][]core.NodeID, k int) 
 		if k < denom {
 			denom = k
 		}
-		res.HitRate += float64(hits) / float64(denom)
-		res.Novelty += noveltyOf(net, viewed, items)
+		outs[i].hit = float64(hits) / float64(denom)
+		outs[i].novelty = noveltyOf(net, viewed, items)
+	})
+	var res EvalResult
+	nSessions := 0
+	for _, o := range outs {
+		if !o.counted {
+			continue
+		}
+		nSessions++
+		if !o.covered {
+			continue
+		}
+		res.Covered++
+		res.HitRate += o.hit
+		res.Novelty += o.novelty
 	}
 	if res.Covered > 0 {
 		res.HitRate /= res.Covered
@@ -241,7 +266,7 @@ func Replay(net *core.Net, rec Recommender, sessions [][2][]core.NodeID, k int) 
 
 // noveltyOf returns the fraction of recommended items whose category
 // primitive differs from every viewed item's category.
-func noveltyOf(net *core.Net, viewed, recommended []core.NodeID) float64 {
+func noveltyOf(net core.Reader, viewed, recommended []core.NodeID) float64 {
 	viewedCats := make(map[core.NodeID]bool)
 	for _, v := range viewed {
 		for _, he := range net.Out(v, core.EdgeItemPrimitive) {

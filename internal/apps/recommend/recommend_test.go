@@ -109,3 +109,44 @@ func TestReplayEmptySessions(t *testing.T) {
 		t.Fatalf("empty replay should be zero: %+v", res)
 	}
 }
+
+// TestRecommendFrozenMatchesLive runs the same sessions through an engine
+// on the live net and one on its frozen snapshot.
+func TestRecommendFrozenMatchesLive(t *testing.T) {
+	f := buildFixture(t)
+	live := NewEngine(f.arts.Net)
+	frozen := NewEngine(f.arts.Frozen)
+	for _, s := range f.sessions {
+		lr, lok := live.Recommend(s[0], 5)
+		fr, fok := frozen.Recommend(s[0], 5)
+		if lok != fok {
+			t.Fatalf("ok differs for session %v", s[0])
+		}
+		if !lok {
+			continue
+		}
+		if lr.Concept != fr.Concept || lr.Reason != fr.Reason {
+			t.Fatalf("concept differs: live %+v vs frozen %+v", lr, fr)
+		}
+		if len(lr.Items) != len(fr.Items) {
+			t.Fatalf("item count differs: live %v vs frozen %v", lr.Items, fr.Items)
+		}
+	}
+	lrep := Replay(f.arts.Net, func(v []core.NodeID, k int) []core.NodeID {
+		r, ok := live.Recommend(v, k)
+		if !ok {
+			return nil
+		}
+		return r.Items
+	}, f.sessions, 10)
+	frep := Replay(f.arts.Frozen, func(v []core.NodeID, k int) []core.NodeID {
+		r, ok := frozen.Recommend(v, k)
+		if !ok {
+			return nil
+		}
+		return r.Items
+	}, f.sessions, 10)
+	if lrep.Covered != frep.Covered || lrep.HitRate != frep.HitRate || lrep.Novelty != frep.Novelty {
+		t.Fatalf("replay differs: live %+v vs frozen %+v", lrep, frep)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"alicoco/internal/core"
 	"alicoco/internal/metrics"
+	"alicoco/internal/par"
 )
 
 // RelevanceCase is one query-item relevance judgment for the Section 8.1.1
@@ -31,7 +32,7 @@ type RelevanceResult struct {
 // queries are leaf-level (the item title contains the word, so lexical
 // matching works); half are hypernym-level ("top"-style queries where only
 // isA expansion can find the relevant items).
-func BuildRelevanceCases(net *core.Net, n int, seed int64) []RelevanceCase {
+func BuildRelevanceCases(net core.Reader, n int, seed int64) []RelevanceCase {
 	rng := rand.New(rand.NewSource(seed))
 	// Query pool: primitives that have isA descendants (hypernyms).
 	var queries []core.NodeID
@@ -93,11 +94,13 @@ func BuildRelevanceCases(net *core.Net, n int, seed int64) []RelevanceCase {
 // EvalRelevance scores each case lexically (query word appears in the item
 // title) and, when expandIsA is set, also structurally (some item primitive
 // has the query as an isA ancestor) — the "jacket is a kind of top" fix.
-func EvalRelevance(net *core.Net, cases []RelevanceCase, expandIsA bool) RelevanceResult {
+// Cases are independent, so scoring fans out across GOMAXPROCS workers;
+// results land in index-addressed slots, keeping the outcome deterministic.
+func EvalRelevance(net core.Reader, cases []RelevanceCase, expandIsA bool) RelevanceResult {
 	scores := make([]float64, len(cases))
 	labels := make([]bool, len(cases))
-	bad := 0
-	for i, c := range cases {
+	par.For(0, len(cases), func(i int) {
+		c := cases[i]
 		nd, _ := net.Node(c.Item)
 		score := 0.0
 		if strings.Contains(" "+nd.Name+" ", " "+c.Query+" ") {
@@ -113,7 +116,10 @@ func EvalRelevance(net *core.Net, cases []RelevanceCase, expandIsA bool) Relevan
 		}
 		scores[i] = score
 		labels[i] = c.Relevant
-		if c.Relevant && score == 0 {
+	})
+	bad := 0
+	for i, c := range cases {
+		if c.Relevant && scores[i] == 0 {
 			bad++
 		}
 	}
@@ -135,10 +141,16 @@ func (c CoverageResult) Rate() float64 {
 }
 
 // MeasureCoverage counts queries fully covered by the engine's vocabulary.
+// Queries fan out across GOMAXPROCS workers (the engine's segmenter is
+// read-only after construction).
 func MeasureCoverage(e *Engine, queries [][]string) CoverageResult {
 	res := CoverageResult{Total: len(queries)}
-	for _, q := range queries {
-		if e.Covered(q) {
+	covered := make([]bool, len(queries))
+	par.For(0, len(queries), func(i int) {
+		covered[i] = e.Covered(queries[i])
+	})
+	for _, c := range covered {
+		if c {
 			res.Covered++
 		}
 	}

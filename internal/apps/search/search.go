@@ -26,15 +26,19 @@ type Response struct {
 	Items []core.NodeID
 }
 
-// Engine answers queries against a net.
+// Engine answers queries against a net. It holds a core.Reader, so it can
+// serve either a live *core.Net or — the production configuration — an
+// immutable *core.FrozenNet snapshot, whose reads are lock-free and
+// allocation-free. All Engine methods are safe for concurrent use when the
+// reader is.
 type Engine struct {
-	net       *core.Net
+	net       core.Reader
 	seg       *text.Segmenter
 	stopwords map[string]bool
 }
 
 // NewEngine indexes the net's primitive and e-commerce concept surfaces.
-func NewEngine(net *core.Net, stopwords []string) *Engine {
+func NewEngine(net core.Reader, stopwords []string) *Engine {
 	e := &Engine{net: net, seg: text.NewSegmenter(), stopwords: make(map[string]bool)}
 	for _, w := range stopwords {
 		e.stopwords[w] = true
@@ -93,15 +97,18 @@ func (e *Engine) Search(query string, maxItems int) Response {
 	}
 
 	// 3. Plain item hits from matched primitives (CPV-style retrieval).
+	// maxItems caps the total across all matched primitives (maxItems <= 0
+	// means unlimited), so the cap check must leave both loops.
 	seen := make(map[core.NodeID]bool)
+collect:
 	for _, prim := range matched {
 		for _, he := range e.net.In(prim, core.EdgeItemPrimitive) {
+			if maxItems > 0 && len(resp.Items) >= maxItems {
+				break collect
+			}
 			if !seen[he.Peer] {
 				seen[he.Peer] = true
 				resp.Items = append(resp.Items, he.Peer)
-			}
-			if len(resp.Items) >= maxItems {
-				break
 			}
 		}
 	}
@@ -154,7 +161,7 @@ func (e *Engine) Covered(tokens []string) bool {
 // NewCPVEngine builds the Section 7.1 baseline: an engine that only knows
 // CPV vocabulary (categories, brands and property values) — no e-commerce
 // concepts, no general-purpose domains.
-func NewCPVEngine(net *core.Net, stopwords []string) *Engine {
+func NewCPVEngine(net core.Reader, stopwords []string) *Engine {
 	cpvDomains := map[string]bool{
 		"Category": true, "Brand": true, "Color": true, "Material": true,
 		"Design": true, "Function": true, "Pattern": true, "Shape": true,

@@ -125,3 +125,56 @@ func TestCoveredRespectsStopwords(t *testing.T) {
 		t.Fatal("unknown token should break coverage")
 	}
 }
+
+// TestSearchMaxItemsCapAcrossPrimitives is the regression test for the
+// overflow where the per-primitive break let resp.Items grow past maxItems
+// once several primitives matched.
+func TestSearchMaxItemsCapAcrossPrimitives(t *testing.T) {
+	a := buildArts(t)
+	e := NewEngine(a.Net, a.World.Stopwords())
+	// "barbecue outdoor" matches two primitives, each with item postings.
+	for _, maxItems := range []int{1, 2, 3, 5} {
+		resp := e.Search("barbecue outdoor", maxItems)
+		if len(resp.Items) > maxItems {
+			t.Fatalf("maxItems=%d but got %d items", maxItems, len(resp.Items))
+		}
+	}
+	// maxItems <= 0 means unlimited: same hits as a huge cap.
+	unlimited := e.Search("grill", 0)
+	capped := e.Search("grill", 1<<20)
+	if len(unlimited.Items) == 0 || len(unlimited.Items) != len(capped.Items) {
+		t.Fatalf("maxItems=0 should mean unlimited: got %d vs %d", len(unlimited.Items), len(capped.Items))
+	}
+}
+
+// TestSearchFrozenMatchesLive runs the same queries against an engine on
+// the live net and one on its frozen snapshot.
+func TestSearchFrozenMatchesLive(t *testing.T) {
+	a := buildArts(t)
+	live := NewEngine(a.Net, a.World.Stopwords())
+	frozen := NewEngine(a.Frozen, a.World.Stopwords())
+	queries := []string{"outdoor barbecue", "barbecue outdoor", "grill", "coat"}
+	for _, qs := range a.World.QuerySet(50) {
+		queries = append(queries, strings.Join(qs.Tokens, " "))
+	}
+	for _, q := range queries {
+		lr := live.Search(q, 10)
+		fr := frozen.Search(q, 10)
+		if len(lr.Cards) != len(fr.Cards) {
+			t.Fatalf("query %q: card count differs (live %d, frozen %d)", q, len(lr.Cards), len(fr.Cards))
+		}
+		for i := range lr.Cards {
+			if lr.Cards[i].Name != fr.Cards[i].Name || len(lr.Cards[i].Items) != len(fr.Cards[i].Items) {
+				t.Fatalf("query %q: card %d differs", q, i)
+			}
+		}
+		if len(lr.Items) != len(fr.Items) {
+			t.Fatalf("query %q: item count differs (live %d, frozen %d)", q, len(lr.Items), len(fr.Items))
+		}
+		for i := range lr.Items {
+			if lr.Items[i] != fr.Items[i] {
+				t.Fatalf("query %q: item %d differs", q, i)
+			}
+		}
+	}
+}

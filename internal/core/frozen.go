@@ -1,0 +1,338 @@
+package core
+
+import "sync"
+
+// FrozenNet is an immutable, lock-free snapshot of a Net, laid out for the
+// online serving workloads of Sections 8.1-8.2: adjacency is stored in CSR
+// form — one flat []HalfEdge per direction plus an offset array indexed by
+// (node, edge kind) — so Out and In are zero-allocation, zero-lock
+// sub-slice lookups; item<->e-commerce-concept postings are pre-sorted by
+// weight at freeze time so concept-card assembly is a slice window instead
+// of a per-query sort; BFS traversals reuse pooled generation-stamped
+// visited arrays instead of allocating a map per query; and a per-layer
+// node index makes NodesOfKind a direct lookup instead of an O(n) scan.
+//
+// A FrozenNet never changes after Freeze returns, so every method is safe
+// for unlimited concurrent use. To serve updates, mutate the live Net
+// offline and swap in a fresh Freeze() — the paper's build-offline /
+// serve-online split.
+type FrozenNet struct {
+	nodes  []Node
+	byName map[string][]NodeID
+	byKind [numKinds][]NodeID
+	out    csr
+	in     csr
+	edges  int
+
+	visit sync.Pool // *visitState, reused across traversals
+}
+
+// csr is compressed-sparse-row adjacency grouped by edge kind: the edges of
+// node id with kind k live in edges[off[id*numEdgeKinds+k] :
+// off[id*numEdgeKinds+k+1]], and all kinds of one node are contiguous.
+type csr struct {
+	off   []int32
+	edges []HalfEdge
+}
+
+func (c *csr) slice(id NodeID, kind EdgeKind, n int) []HalfEdge {
+	if id < 0 || int(id) >= n || kind >= numEdgeKinds {
+		return nil
+	}
+	base := int(id) * int(numEdgeKinds)
+	if kind < 0 {
+		return c.edges[c.off[base]:c.off[base+int(numEdgeKinds)]]
+	}
+	return c.edges[c.off[base+int(kind)]:c.off[base+int(kind)+1]]
+}
+
+// buildCSR converts slice-of-slices adjacency into kind-grouped CSR,
+// preserving insertion order within each (node, kind) group.
+func buildCSR(adj [][]HalfEdge) csr {
+	n := len(adj)
+	k := int(numEdgeKinds)
+	off := make([]int32, n*k+1)
+	total := 0
+	for id, hes := range adj {
+		for _, he := range hes {
+			off[id*k+int(he.Kind)+1]++
+			total++
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	edges := make([]HalfEdge, total)
+	cursor := make([]int32, n*k)
+	for id, hes := range adj {
+		for _, he := range hes {
+			slot := id*k + int(he.Kind)
+			edges[int(off[slot])+int(cursor[slot])] = he
+			cursor[slot]++
+		}
+	}
+	return csr{off: off, edges: edges}
+}
+
+// sortPostings weight-sorts every node's segment of one edge kind, so
+// serving reads them best-first without sorting per query.
+func (c *csr) sortPostings(n int, kind EdgeKind) {
+	for id := 0; id < n; id++ {
+		seg := c.slice(NodeID(id), kind, n)
+		if len(seg) > 1 {
+			sortHalfEdgesByWeight(seg)
+		}
+	}
+}
+
+// Freeze builds a read-optimized immutable snapshot of the net's current
+// state. The snapshot shares nothing mutable with the live net: later
+// AddNode/AddEdge calls do not affect it.
+func (n *Net) Freeze() *FrozenNet {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	f := &FrozenNet{
+		nodes:  append([]Node(nil), n.nodes...),
+		byName: make(map[string][]NodeID, len(n.byName)),
+		out:    buildCSR(n.outAdj),
+		in:     buildCSR(n.inAdj),
+		edges:  n.edges,
+	}
+	for name, ids := range n.byName {
+		f.byName[name] = append([]NodeID(nil), ids...)
+	}
+	for _, nd := range f.nodes {
+		f.byKind[nd.Kind] = append(f.byKind[nd.Kind], nd.ID)
+	}
+	nn := len(f.nodes)
+	f.out.sortPostings(nn, EdgeItemEConcept)
+	f.in.sortPostings(nn, EdgeItemEConcept)
+	f.visit.New = func() any {
+		return &visitState{gen: make([]uint32, nn)}
+	}
+	return f
+}
+
+// Node returns the node for id; ok is false for invalid ids.
+func (f *FrozenNet) Node(id NodeID) (Node, bool) {
+	if id < 0 || int(id) >= len(f.nodes) {
+		return Node{}, false
+	}
+	return f.nodes[id], true
+}
+
+// NumNodes returns the node count.
+func (f *FrozenNet) NumNodes() int { return len(f.nodes) }
+
+// NumEdges returns the edge count.
+func (f *FrozenNet) NumEdges() int { return f.edges }
+
+// FindByName returns all nodes with the given surface form. The slice is a
+// read-only view into the snapshot.
+func (f *FrozenNet) FindByName(name string) []NodeID { return f.byName[name] }
+
+// FindByNameKind returns nodes with the given name in one layer.
+func (f *FrozenNet) FindByNameKind(name string, kind NodeKind) []NodeID {
+	var out []NodeID
+	for _, id := range f.byName[name] {
+		if f.nodes[id].Kind == kind {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FirstByNameKind returns the first matching node or InvalidNode.
+func (f *FrozenNet) FirstByNameKind(name string, kind NodeKind) NodeID {
+	for _, id := range f.byName[name] {
+		if f.nodes[id].Kind == kind {
+			return id
+		}
+	}
+	return InvalidNode
+}
+
+// Out returns outgoing half-edges of a kind (all kinds if kind < 0) as a
+// zero-allocation view into the CSR layout.
+func (f *FrozenNet) Out(id NodeID, kind EdgeKind) []HalfEdge {
+	return f.out.slice(id, kind, len(f.nodes))
+}
+
+// In returns incoming half-edges of a kind (all kinds if kind < 0) as a
+// zero-allocation view into the CSR layout.
+func (f *FrozenNet) In(id NodeID, kind EdgeKind) []HalfEdge {
+	return f.in.slice(id, kind, len(f.nodes))
+}
+
+// NodesOfKind returns all node IDs in one layer, precomputed at freeze
+// time. The slice is a read-only view into the snapshot.
+func (f *FrozenNet) NodesOfKind(kind NodeKind) []NodeID {
+	if kind < 0 || kind >= numKinds {
+		return nil
+	}
+	return f.byKind[kind]
+}
+
+// ItemsForEConcept returns items associated with an e-commerce concept,
+// best-weight first, up to limit (limit <= 0 means all). The postings were
+// sorted at freeze time, so this is a bounds check and a slice window.
+func (f *FrozenNet) ItemsForEConcept(id NodeID, limit int) []HalfEdge {
+	items := f.In(id, EdgeItemEConcept)
+	if limit > 0 && len(items) > limit {
+		items = items[:limit]
+	}
+	return items
+}
+
+// EConceptsForItem returns the e-commerce concepts an item serves,
+// best-weight first, up to limit (limit <= 0 means all).
+func (f *FrozenNet) EConceptsForItem(id NodeID, limit int) []HalfEdge {
+	out := f.Out(id, EdgeItemEConcept)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// PrimitivesForEConcept returns the primitive concepts interpreting an
+// e-commerce concept.
+func (f *FrozenNet) PrimitivesForEConcept(id NodeID) []HalfEdge {
+	return f.Out(id, EdgeInterpretedBy)
+}
+
+// visitState is a reusable BFS scratchpad: gen[v] == epoch marks v visited
+// in the current traversal, so clearing between traversals is a single
+// epoch increment instead of a map allocation or an O(n) wipe.
+type visitState struct {
+	gen   []uint32
+	epoch uint32
+	queue []frontierEntry
+}
+
+type frontierEntry struct {
+	id    NodeID
+	depth int32
+}
+
+// next advances the epoch, wiping the visited set in O(1); on the (rare)
+// uint32 wraparound it clears the array to stay sound.
+func (v *visitState) next() {
+	v.epoch++
+	if v.epoch == 0 {
+		for i := range v.gen {
+			v.gen[i] = 0
+		}
+		v.epoch = 1
+	}
+	v.queue = v.queue[:0]
+}
+
+// traverse runs the isA/instanceOf BFS over one CSR direction. When target
+// is a valid node it stops early and reports reachability; otherwise it
+// appends visited ids (excluding start, BFS order) to a fresh result slice.
+func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID, collect bool) ([]NodeID, bool) {
+	if start < 0 || int(start) >= len(f.nodes) {
+		return nil, false
+	}
+	v := f.visit.Get().(*visitState)
+	defer f.visit.Put(v)
+	v.next()
+	v.gen[start] = v.epoch
+	v.queue = append(v.queue, frontierEntry{start, 0})
+	var out []NodeID
+	n := len(f.nodes)
+	for qi := 0; qi < len(v.queue); qi++ {
+		cur := v.queue[qi]
+		if maxDepth > 0 && int(cur.depth) >= maxDepth {
+			continue
+		}
+		for _, kind := range [2]EdgeKind{EdgeIsA, EdgeInstanceOf} {
+			for _, he := range adj.slice(cur.id, kind, n) {
+				if v.gen[he.Peer] == v.epoch {
+					continue
+				}
+				v.gen[he.Peer] = v.epoch
+				if he.Peer == target {
+					return nil, true
+				}
+				if collect {
+					out = append(out, he.Peer)
+				}
+				v.queue = append(v.queue, frontierEntry{he.Peer, cur.depth + 1})
+			}
+		}
+	}
+	return out, false
+}
+
+// Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
+// maxDepth levels (maxDepth <= 0 means unlimited) and returns the visited
+// ancestor IDs in traversal order, excluding id itself.
+func (f *FrozenNet) Ancestors(id NodeID, maxDepth int) []NodeID {
+	out, _ := f.traverse(&f.out, id, maxDepth, InvalidNode, true)
+	return out
+}
+
+// Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
+func (f *FrozenNet) Descendants(id NodeID, maxDepth int) []NodeID {
+	out, _ := f.traverse(&f.in, id, maxDepth, InvalidNode, true)
+	return out
+}
+
+// IsAncestor reports whether anc is reachable upward from id. It allocates
+// nothing in steady state: the BFS runs on a pooled visited array and stops
+// as soon as anc is found.
+func (f *FrozenNet) IsAncestor(id, anc NodeID) bool {
+	if anc < 0 || int(anc) >= len(f.nodes) || id == anc {
+		return false
+	}
+	_, found := f.traverse(&f.out, id, 0, anc, false)
+	return found
+}
+
+// ComputeStats summarizes the snapshot the way (*Net).ComputeStats does.
+func (f *FrozenNet) ComputeStats() Stats {
+	s := Stats{
+		Nodes:           len(f.nodes),
+		Edges:           f.edges,
+		PerKind:         make(map[string]int),
+		PrimitivesByDom: make(map[string]int),
+		EdgesByKind:     make(map[string]int),
+	}
+	items := len(f.byKind[KindItem])
+	econcepts := len(f.byKind[KindEConcept])
+	var itemPrim, itemEcpt, ecptPrim int
+	for id, nd := range f.nodes {
+		s.PerKind[nd.Kind.String()]++
+		if nd.Kind == KindPrimitive {
+			s.PrimitivesByDom[nd.Domain]++
+		}
+		for _, he := range f.out.slice(NodeID(id), -1, len(f.nodes)) {
+			s.EdgesByKind[he.Kind.String()]++
+			switch he.Kind {
+			case EdgeIsA:
+				switch nd.Kind {
+				case KindPrimitive:
+					s.IsAPrimitive++
+				case KindEConcept:
+					s.IsAEConcept++
+				}
+			case EdgeItemPrimitive:
+				itemPrim++
+			case EdgeItemEConcept:
+				itemEcpt++
+			case EdgeInterpretedBy:
+				ecptPrim++
+			}
+		}
+	}
+	if items > 0 {
+		s.AvgPrimitivesPerItem = float64(itemPrim) / float64(items)
+		s.AvgEConceptsPerItem = float64(itemEcpt) / float64(items)
+	}
+	if econcepts > 0 {
+		s.AvgItemsPerEConcept = float64(itemEcpt) / float64(econcepts)
+		s.AvgPrimsPerEConcept = float64(ecptPrim) / float64(econcepts)
+	}
+	return s
+}

@@ -261,46 +261,25 @@ func filterAdj(adj [][]HalfEdge, id NodeID, kind EdgeKind, n int) []HalfEdge {
 
 // Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
 // maxDepth levels (maxDepth <= 0 means unlimited) and returns the visited
-// ancestor IDs in BFS order, excluding id itself.
+// ancestor IDs in BFS order, excluding id itself. Within one node's
+// frontier, isA edges are expanded before instanceOf edges — the same
+// order the frozen snapshot's kind-grouped CSR yields — so live and frozen
+// traversals return identical sequences.
 func (n *Net) Ancestors(id NodeID, maxDepth int) []NodeID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if !n.valid(id) {
-		return nil
-	}
-	type qe struct {
-		id    NodeID
-		depth int
-	}
-	seen := map[NodeID]bool{id: true}
-	queue := []qe{{id, 0}}
-	var out []NodeID
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if maxDepth > 0 && cur.depth >= maxDepth {
-			continue
-		}
-		for _, he := range n.outAdj[cur.id] {
-			if he.Kind != EdgeIsA && he.Kind != EdgeInstanceOf {
-				continue
-			}
-			if seen[he.Peer] {
-				continue
-			}
-			seen[he.Peer] = true
-			out = append(out, he.Peer)
-			queue = append(queue, qe{he.Peer, cur.depth + 1})
-		}
-	}
-	return out
+	return bfsHierarchy(n.outAdj, id, maxDepth, len(n.nodes))
 }
 
 // Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
 func (n *Net) Descendants(id NodeID, maxDepth int) []NodeID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if !n.valid(id) {
+	return bfsHierarchy(n.inAdj, id, maxDepth, len(n.nodes))
+}
+
+func bfsHierarchy(adj [][]HalfEdge, id NodeID, maxDepth, n int) []NodeID {
+	if id < 0 || int(id) >= n {
 		return nil
 	}
 	type qe struct {
@@ -316,16 +295,15 @@ func (n *Net) Descendants(id NodeID, maxDepth int) []NodeID {
 		if maxDepth > 0 && cur.depth >= maxDepth {
 			continue
 		}
-		for _, he := range n.inAdj[cur.id] {
-			if he.Kind != EdgeIsA && he.Kind != EdgeInstanceOf {
-				continue
+		for _, kind := range [2]EdgeKind{EdgeIsA, EdgeInstanceOf} {
+			for _, he := range adj[cur.id] {
+				if he.Kind != kind || seen[he.Peer] {
+					continue
+				}
+				seen[he.Peer] = true
+				out = append(out, he.Peer)
+				queue = append(queue, qe{he.Peer, cur.depth + 1})
 			}
-			if seen[he.Peer] {
-				continue
-			}
-			seen[he.Peer] = true
-			out = append(out, he.Peer)
-			queue = append(queue, qe{he.Peer, cur.depth + 1})
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package emb
 
 import (
+	"runtime"
 	"testing"
 
 	"alicoco/internal/mat"
@@ -141,5 +142,57 @@ func TestGlossary(t *testing.T) {
 	v[0] = 999
 	if g.Vec(1)[0] == 999 {
 		t.Fatal("Vec must return a copy")
+	}
+}
+
+func TestWord2VecParallelLearnsTopics(t *testing.T) {
+	cfg := DefaultW2VConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 4
+	cfg.Workers = 4
+	m := TrainWord2Vec(toyCorpus(), cfg)
+	same := m.Similarity("grill", "charcoal")
+	cross := m.Similarity("grill", "dress")
+	if same <= cross {
+		t.Fatalf("parallel training lost topics: in-topic %v vs cross-topic %v", same, cross)
+	}
+}
+
+func TestWord2VecParallelMatchesSequentialVocab(t *testing.T) {
+	cfg := DefaultW2VConfig()
+	cfg.Epochs = 1
+	seq := TrainWord2Vec(toyCorpus(), cfg)
+	cfg.Workers = 4
+	parl := TrainWord2Vec(toyCorpus(), cfg)
+	if seq.Vocab.Len() != parl.Vocab.Len() {
+		t.Fatalf("vocab differs: %d vs %d", seq.Vocab.Len(), parl.Vocab.Len())
+	}
+}
+
+func benchCorpus() [][]string {
+	var corpus [][]string
+	base := toyCorpus()
+	for i := 0; i < 10; i++ {
+		corpus = append(corpus, base...)
+	}
+	return corpus
+}
+
+func BenchmarkWord2VecTrainSequential(b *testing.B) {
+	corpus := benchCorpus()
+	cfg := DefaultW2VConfig()
+	cfg.Epochs = 2
+	for i := 0; i < b.N; i++ {
+		TrainWord2Vec(corpus, cfg)
+	}
+}
+
+func BenchmarkWord2VecTrainSharded(b *testing.B) {
+	corpus := benchCorpus()
+	cfg := DefaultW2VConfig()
+	cfg.Epochs = 2
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		TrainWord2Vec(corpus, cfg)
 	}
 }

@@ -8,6 +8,7 @@ package emb
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"alicoco/internal/mat"
 	"alicoco/internal/text"
@@ -22,6 +23,14 @@ type W2VConfig struct {
 	LR       float64
 	MinCount int
 	Seed     int64
+	// Workers shards each epoch's sentences across this many goroutines,
+	// HogWild-style with striped row locks. Workers <= 1 trains
+	// sequentially and bit-exactly deterministically for a fixed config;
+	// with more workers each shard's sampling sequence is still fixed by
+	// (Seed, shard, epoch), but concurrent row updates may interleave
+	// differently between runs, so final vectors can differ in the last
+	// bits. The pipeline sets Workers to GOMAXPROCS.
+	Workers int
 }
 
 // DefaultW2VConfig returns settings sized for the synthetic corpus.
@@ -40,7 +49,7 @@ type Word2Vec struct {
 }
 
 // TrainWord2Vec trains skip-gram with negative sampling over the corpus.
-// Deterministic for a fixed config.
+// Deterministic for a fixed config when cfg.Workers <= 1; see W2VConfig.
 func TrainWord2Vec(corpus [][]string, cfg W2VConfig) *Word2Vec {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	counts := make(map[string]int)
@@ -62,29 +71,91 @@ func TrainWord2Vec(corpus [][]string, cfg W2VConfig) *Word2Vec {
 	m.In.RandInit(rng, 0.5/float64(cfg.Dim))
 	m.buildUnigramTable(counts)
 
+	workers := cfg.Workers
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	if workers > 1 {
+		m.trainSharded(corpus, cfg, workers)
+		return m
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs+1))
 		for _, sent := range corpus {
-			ids := vocab.EncodeFixed(sent)
-			for i, center := range ids {
-				if center == text.UnkID || center == text.PadID {
-					continue
-				}
-				win := 1 + rng.Intn(cfg.Window)
-				for j := i - win; j <= i+win; j++ {
-					if j < 0 || j >= len(ids) || j == i {
-						continue
-					}
-					ctx := ids[j]
-					if ctx == text.UnkID || ctx == text.PadID {
-						continue
-					}
-					m.trainPair(center, ctx, cfg.Negative, lr, rng)
-				}
-			}
+			m.trainSentence(sent, cfg.Negative, cfg.Window, lr, rng, nil, nil, nil)
 		}
 	}
 	return m
+}
+
+// trainSentence runs the skip-gram window loop over one sentence. With nil
+// locks it performs the classic sequential updates; with striped locks and
+// a scratch buffer it performs the lock-protected HogWild-style updates of
+// sharded training.
+func (m *Word2Vec) trainSentence(sent []string, negative, window int, lr float64, rng *rand.Rand, s *pairScratch, inMu, outMu *stripedLocks) {
+	ids := m.Vocab.EncodeFixed(sent)
+	for i, center := range ids {
+		if center == text.UnkID || center == text.PadID {
+			continue
+		}
+		win := 1 + rng.Intn(window)
+		for j := i - win; j <= i+win; j++ {
+			if j < 0 || j >= len(ids) || j == i {
+				continue
+			}
+			ctx := ids[j]
+			if ctx == text.UnkID || ctx == text.PadID {
+				continue
+			}
+			if inMu == nil {
+				m.trainPair(center, ctx, negative, lr, rng)
+			} else {
+				m.trainPairLocked(center, ctx, negative, lr, rng, s, inMu, outMu)
+			}
+		}
+	}
+}
+
+// lockStripes is the number of row-lock stripes per matrix; a power of two
+// so striping is a mask. 256 stripes keep collision odds low at GOMAXPROCS
+// worker counts while the lock arrays stay cache-resident.
+const lockStripes = 256
+
+type stripedLocks [lockStripes]sync.Mutex
+
+func (s *stripedLocks) of(row int) *sync.Mutex { return &s[row&(lockStripes-1)] }
+
+// pairScratch is per-worker scratch so sharded updates allocate nothing.
+type pairScratch struct {
+	in  mat.Vec // stable copy of the center row for this pair
+	dIn mat.Vec // accumulated center-row gradient
+}
+
+// trainSharded splits each epoch's sentences round-robin across workers.
+// Every shard draws windows and negatives from its own RNG seeded by
+// (Seed, epoch, shard), so the sampled work is scheduling-independent;
+// row updates go through striped locks (one held at a time — no lock
+// ordering, no deadlock), so training is race-free under -race. Like
+// HogWild, a worker may read a center row that another worker is about to
+// update; that staleness is benign for SGD.
+func (m *Word2Vec) trainSharded(corpus [][]string, cfg W2VConfig, workers int) {
+	var inMu, outMu stripedLocks
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs+1))
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*104729 + int64(w)*7919))
+				scratch := &pairScratch{in: mat.NewVec(m.Dim), dIn: mat.NewVec(m.Dim)}
+				for i := w; i < len(corpus); i += workers {
+					m.trainSentence(corpus[i], cfg.Negative, cfg.Window, lr, rng, scratch, &inMu, &outMu)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 }
 
 func (m *Word2Vec) buildUnigramTable(counts map[string]int) {
@@ -132,6 +203,40 @@ func (m *Word2Vec) trainPair(center, ctx, negative int, lr float64, rng *rand.Ra
 		update(neg, 0)
 	}
 	in.Add(dIn)
+}
+
+// trainPairLocked is the sharded-training counterpart of trainPair: the
+// same SGNS update, but every read or write of a shared row happens under
+// that row's stripe lock, and at most one lock is held at a time.
+func (m *Word2Vec) trainPairLocked(center, ctx, negative int, lr float64, rng *rand.Rand, s *pairScratch, inMu, outMu *stripedLocks) {
+	cmu := inMu.of(center)
+	cmu.Lock()
+	copy(s.in, m.In.Row(center))
+	cmu.Unlock()
+	for i := range s.dIn {
+		s.dIn[i] = 0
+	}
+	update := func(outID int, label float64) {
+		omu := outMu.of(outID)
+		omu.Lock()
+		out := m.Out.Row(outID)
+		p := mat.Sigmoid(s.in.Dot(out))
+		g := (p - label) * lr
+		s.dIn.AddScaled(-g, out)
+		out.AddScaled(-g, s.in)
+		omu.Unlock()
+	}
+	update(ctx, 1)
+	for k := 0; k < negative && len(m.unigram) > 0; k++ {
+		neg := m.unigram[rng.Intn(len(m.unigram))]
+		if neg == ctx {
+			continue
+		}
+		update(neg, 0)
+	}
+	cmu.Lock()
+	m.In.Row(center).Add(s.dIn)
+	cmu.Unlock()
 }
 
 // Vec returns the input vector for a word (zero vector if unknown).

@@ -41,9 +41,11 @@ func DefaultConfig() Config {
 	return Config{MinLift: 2.0, MinCoverage: 0.3, MinItems: 5}
 }
 
-// Miner precomputes base rates over the net's item layer.
+// Miner precomputes base rates over the net's item layer. Mining is pure
+// reading, so a Miner runs against a frozen snapshot as well as a live net;
+// only Materialize needs a writable net.
 type Miner struct {
-	net      *core.Net
+	net      core.Reader
 	cfg      Config
 	baseRate map[core.NodeID]float64 // primitive -> share of all items carrying it
 	items    int
@@ -51,7 +53,7 @@ type Miner struct {
 }
 
 // NewMiner scans the item layer once.
-func NewMiner(net *core.Net, cfg Config) *Miner {
+func NewMiner(net core.Reader, cfg Config) *Miner {
 	m := &Miner{net: net, cfg: cfg, baseRate: make(map[core.NodeID]float64)}
 	if len(cfg.Domains) > 0 {
 		m.domains = make(map[string]bool, len(cfg.Domains))
@@ -142,18 +144,20 @@ func (m *Miner) InferAll() []ImplicitRelation {
 	return out
 }
 
-// Materialize writes inferred relations into the net as weighted
-// interpretedBy edges (weight = normalized confidence from coverage), making
-// the implicit knowledge queryable like any other interpretation link. It
-// returns the number of edges added.
-func (m *Miner) Materialize(rels []ImplicitRelation) (int, error) {
+// Materialize writes inferred relations into dst as weighted interpretedBy
+// edges (weight = normalized confidence from coverage), making the implicit
+// knowledge queryable like any other interpretation link. It returns the
+// number of edges added. dst is passed explicitly because the miner itself
+// may be reading a frozen snapshot; callers that serve from a snapshot
+// should re-freeze dst afterwards to publish the new edges.
+func (m *Miner) Materialize(dst *core.Net, rels []ImplicitRelation) (int, error) {
 	added := 0
 	for _, r := range rels {
 		w := r.Coverage
 		if w > 0.99 {
 			w = 0.99 // inferred edges never outrank manual ones
 		}
-		if err := m.net.AddEdge(r.Concept, r.Primitive, core.EdgeInterpretedBy, "implied", w); err != nil {
+		if err := dst.AddEdge(r.Concept, r.Primitive, core.EdgeInterpretedBy, "implied", w); err != nil {
 			return added, err
 		}
 		added++

@@ -88,7 +88,7 @@ func TestMaterialize(t *testing.T) {
 		t.Skip("nothing to materialize in tiny world")
 	}
 	before := a.Net.NumEdges()
-	added, err := m.Materialize(rels)
+	added, err := m.Materialize(a.Net, rels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +114,44 @@ func TestMaterialize(t *testing.T) {
 	}
 	// Idempotent: re-materializing updates weights, adds no edges.
 	before = a.Net.NumEdges()
-	if _, err := m.Materialize(rels); err != nil {
+	if _, err := m.Materialize(a.Net, rels); err != nil {
 		t.Fatal(err)
 	}
 	if a.Net.NumEdges() != before {
 		t.Fatal("re-materialize duplicated edges")
+	}
+}
+
+// TestMinerOnFrozenSnapshot is the serving configuration: mine from an
+// immutable snapshot, materialize into the live net, and re-freeze.
+func TestMinerOnFrozenSnapshot(t *testing.T) {
+	a := buildNet(t)
+	frozen := a.Net.Freeze()
+	live := NewMiner(a.Net, DefaultConfig()).InferAll()
+	snap := NewMiner(frozen, DefaultConfig())
+	fromSnap := snap.InferAll()
+	if len(fromSnap) != len(live) {
+		t.Fatalf("frozen mining found %d relations, live found %d", len(fromSnap), len(live))
+	}
+	for i := range live {
+		if live[i] != fromSnap[i] {
+			t.Fatalf("relation %d differs: live %+v vs frozen %+v", i, live[i], fromSnap[i])
+		}
+	}
+	if len(fromSnap) == 0 {
+		t.Skip("nothing to materialize in tiny world")
+	}
+	before := a.Net.NumEdges()
+	added, err := snap.Materialize(a.Net, fromSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Net.NumEdges() != before+added {
+		t.Fatal("materializing from a frozen miner lost edges")
+	}
+	refrozen := a.Net.Freeze()
+	if refrozen.NumEdges() != a.Net.NumEdges() {
+		t.Fatal("re-freeze did not pick up materialized edges")
 	}
 }
 

@@ -1,0 +1,51 @@
+// Package par provides the tiny fan-out primitive the serving and training
+// hot paths share: a bounded parallel for over an index space. Work is
+// handed out through an atomic counter, so the goroutine count is fixed and
+// callers stay deterministic by writing results into index-addressed slots
+// and reducing sequentially afterwards.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) across min(workers, n) goroutines
+// and returns when all calls have finished. workers <= 0 means
+// runtime.GOMAXPROCS(0). fn must be safe for concurrent invocation; with
+// workers == 1 (or n == 1) the calls run sequentially in order on the
+// calling goroutine.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,38 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 1000
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	For(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	calls := 0
+	For(8, 1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1: %d calls", calls)
+	}
+}
+
+func TestForSequentialWhenOneWorker(t *testing.T) {
+	var order []int
+	For(1, 50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("one worker must run in order: %v", order)
+		}
+	}
+}

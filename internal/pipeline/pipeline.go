@@ -7,6 +7,7 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"alicoco/internal/core"
@@ -34,6 +35,7 @@ func DefaultOptions() Options {
 	w2v := emb.DefaultW2VConfig()
 	w2v.Dim = 32
 	w2v.Epochs = 6
+	w2v.Workers = runtime.GOMAXPROCS(0)
 	return Options{
 		World:          world.DefaultConfig(),
 		Queries:        2000,
@@ -49,6 +51,7 @@ func TinyOptions() Options {
 	w2v := emb.DefaultW2VConfig()
 	w2v.Dim = 16
 	w2v.Epochs = 2
+	w2v.Workers = runtime.GOMAXPROCS(0)
 	return Options{
 		World:          world.TinyConfig(),
 		Queries:        300,
@@ -70,6 +73,12 @@ type Artifacts struct {
 	LM       *text.NGramLM
 	POS      *text.POSTagger
 	Net      *core.Net
+
+	// Frozen is the read-optimized immutable snapshot of Net taken when
+	// the build finished — the store serving code should query (the
+	// build-offline / serve-online split). After mutating Net, call
+	// Refreeze to publish a fresh snapshot.
+	Frozen *core.FrozenNet
 
 	// Node maps from world IDs to net node IDs.
 	PrimNode  map[int]core.NodeID
@@ -112,7 +121,19 @@ func Build(opts Options) (*Artifacts, error) {
 	if err := a.buildItems(); err != nil {
 		return nil, fmt.Errorf("pipeline: items: %w", err)
 	}
+	a.Frozen = a.Net.Freeze()
 	return a, nil
+}
+
+// Refreeze rebuilds the frozen snapshot from the live net's current state
+// and returns it. Call it after offline mutations (e.g. materializing
+// inferred relations) to publish them to serving code. The Frozen field
+// write is not synchronized — serving layers that swap snapshots under
+// traffic should hold the returned pointer in their own atomic (as the
+// alicoco facade does) rather than re-reading Frozen concurrently.
+func (a *Artifacts) Refreeze() *core.FrozenNet {
+	a.Frozen = a.Net.Freeze()
+	return a.Frozen
 }
 
 // learnPOSLexicon seeds the POS tagger from the world's vocabulary.

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the core serving benchmarks and record the perf trajectory.
+#
+# Usage: scripts/bench.sh [benchtime]
+#
+# Runs the BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark)
+# and writes BENCH_core.json at the repo root: one record per benchmark
+# with ns/op, B/op, and allocs/op, so future PRs can diff serving
+# performance against this one.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+OUT=BENCH_core.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries' \
+    -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
