@@ -11,6 +11,8 @@
 package alicoco
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -49,27 +51,28 @@ func Default() Options {
 	return Options{Seed: 42, ItemsPerCategory: 12, Scenarios: 120, CorpusSentences: 2000}
 }
 
-// CoCo is a built concept net plus its application engines.
+// CoCo is a built (or snapshot-loaded) concept net plus its application
+// engines.
 //
 // All query methods read one servingState loaded atomically, so they are
-// safe to call concurrently with InferImplicitRelations (which publishes a
-// fresh snapshot by swapping the pointer, never by mutating one in place).
+// safe to call concurrently with InferImplicitRelations, Refreeze, and
+// ReloadFrozen (each publishes a fresh snapshot by swapping the pointer,
+// never by mutating one in place).
 type CoCo struct {
-	arts    *pipeline.Artifacts
-	offline sync.Mutex // serializes offline mutation + refreeze cycles
+	arts    atomic.Pointer[pipeline.Artifacts]
+	offline sync.Mutex // serializes offline mutation + republish cycles
 	serving atomic.Pointer[servingState]
-
-	// itemByNode maps net item nodes back to facade Items. Node IDs and
-	// the world are fixed after Build, so this is computed once.
-	itemByNode map[core.NodeID]Item
 }
 
-// servingState bundles a frozen snapshot with the engines built on it, so
-// snapshot and engines always swap together.
+// servingState bundles a frozen snapshot with the engines and item index
+// built on it, so everything a query touches swaps together atomically.
 type servingState struct {
-	frozen *core.FrozenNet
-	search *search.Engine
-	rec    *recommend.Engine
+	frozen     *core.FrozenNet
+	search     *search.Engine
+	rec        *recommend.Engine
+	items      []Item               // world order, for deterministic listings
+	itemByNode map[core.NodeID]Item // net node -> facade item
+	itemNode   map[int]core.NodeID  // world item ID -> net node
 }
 
 // Build constructs the net end-to-end from a synthetic corpus.
@@ -87,43 +90,148 @@ func Build(opts Options) (*CoCo, error) {
 	}
 	// Serving always runs on the frozen snapshot: lock-free, zero-alloc
 	// reads, postings pre-sorted at freeze time.
-	c := &CoCo{arts: arts, itemByNode: buildItemIndex(arts)}
-	c.publish(arts.Frozen)
+	c := &CoCo{}
+	c.arts.Store(arts)
+	c.publish(arts)
 	return c, nil
 }
 
-func buildItemIndex(arts *pipeline.Artifacts) map[core.NodeID]Item {
-	rev := make(map[core.NodeID]Item, len(arts.ItemNode))
-	for wid, nid := range arts.ItemNode {
-		it := arts.World.Items[wid]
-		rev[nid] = Item{ID: wid, Title: strings.Join(it.Title, " "), Category: arts.World.Prim(it.Leaf).Name()}
+// loadArtifacts reads a frozen snapshot file into a serving-only
+// Artifacts bundle.
+func loadArtifacts(path string) (*pipeline.Artifacts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	return rev
+	defer f.Close()
+	return pipeline.LoadSnapshot(bufio.NewReaderSize(f, 1<<20))
 }
 
-// publish swaps in a serving state built on the given snapshot.
-func (c *CoCo) publish(frozen *core.FrozenNet) {
+// LoadFrozen builds a CoCo from a snapshot file written by SaveFrozen,
+// skipping world generation, model training, and the Freeze pass: cold
+// start is proportional to disk bandwidth. The loaded CoCo serves every
+// query path; offline paths that need the live net or the world
+// (InferImplicitRelations, SampleSessions, Glosses) report that they are
+// unavailable.
+func LoadFrozen(path string) (*CoCo, error) {
+	arts, err := loadArtifacts(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &CoCo{}
+	c.arts.Store(arts)
+	c.publish(arts)
+	return c, nil
+}
+
+// SaveFrozen writes the serving state — the frozen net plus the serving
+// metadata — to a snapshot file LoadFrozen can restore. The file is
+// written to a temporary sibling and renamed into place, so a crash
+// mid-save never leaves a corrupt snapshot at the published path, and it
+// holds the offline lock so a concurrent refreeze cannot swap the frozen
+// net mid-serialization.
+func (c *CoCo) SaveFrozen(path string) error {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	err = c.arts.Load().SaveSnapshot(w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReloadFrozen reads a snapshot file and hot-swaps it into serving: queries
+// running concurrently keep answering from the old snapshot until the
+// atomic pointer swap, then see the new one. This is how a running server
+// ingests new edges without a restart.
+func (c *CoCo) ReloadFrozen(path string) error {
+	arts, err := loadArtifacts(path)
+	if err != nil {
+		return err
+	}
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	c.arts.Store(arts)
+	c.publish(arts)
+	return nil
+}
+
+// Refreeze republishes the live net's current state to the serving engines.
+// It errors on a snapshot-loaded CoCo, which has no live net to freeze.
+func (c *CoCo) Refreeze() error {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	arts := c.arts.Load()
+	if arts.Net == nil {
+		return errors.New("alicoco: refreeze: snapshot-loaded net has no live store")
+	}
+	arts.Refreeze()
+	c.publish(arts)
+	return nil
+}
+
+func buildItemIndex(meta *pipeline.ServingMeta) ([]Item, map[core.NodeID]Item, map[int]core.NodeID) {
+	items := make([]Item, 0, len(meta.Items))
+	rev := make(map[core.NodeID]Item, len(meta.Items))
+	fwd := make(map[int]core.NodeID, len(meta.Items))
+	for _, im := range meta.Items {
+		it := Item{ID: im.WorldID, Title: im.Title, Category: im.Category}
+		items = append(items, it)
+		rev[im.Node] = it
+		fwd[im.WorldID] = im.Node
+	}
+	return items, rev, fwd
+}
+
+// publish swaps in a serving state built on the artifacts' frozen snapshot.
+func (c *CoCo) publish(arts *pipeline.Artifacts) {
+	frozen := arts.Frozen
+	items, rev, fwd := buildItemIndex(arts.Serving)
 	c.serving.Store(&servingState{
-		frozen: frozen,
-		search: search.NewEngine(frozen, c.arts.World.Stopwords()),
-		rec:    recommend.NewEngine(frozen),
+		frozen:     frozen,
+		search:     search.NewEngine(frozen, arts.Serving.Stopwords),
+		rec:        recommend.NewEngine(frozen),
+		items:      items,
+		itemByNode: rev,
+		itemNode:   fwd,
 	})
 }
 
 // refreeze publishes the live net's current state to the serving engines
-// after an offline mutation.
+// after an offline mutation. Callers hold c.offline.
 func (c *CoCo) refreeze() {
-	c.publish(c.arts.Refreeze())
+	arts := c.arts.Load()
+	arts.Refreeze()
+	c.publish(arts)
 }
 
-// SaveSnapshot writes the net to a file.
+// SaveSnapshot writes the mutable net to a file in the legacy gob format
+// (see SaveFrozen for the serving snapshot that restores without a
+// rebuild). It errors on a snapshot-loaded CoCo.
 func (c *CoCo) SaveSnapshot(path string) error {
+	arts := c.arts.Load()
+	if arts.Net == nil {
+		return errors.New("alicoco: save snapshot: snapshot-loaded net has no live store")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return c.arts.Net.Save(f)
+	return arts.Net.Save(f)
 }
 
 // Stats summarizes the net (the Table 2 shape).
@@ -181,15 +289,7 @@ type Item struct {
 
 // Items lists every item.
 func (c *CoCo) Items() []Item {
-	out := make([]Item, 0, len(c.arts.World.Items))
-	for _, it := range c.arts.World.Items {
-		out = append(out, Item{
-			ID:       it.ID,
-			Title:    strings.Join(it.Title, " "),
-			Category: c.arts.World.Prim(it.Leaf).Name(),
-		})
-	}
-	return out
+	return append([]Item(nil), c.serving.Load().items...)
 }
 
 // ConceptCard is a shopping-scenario card: the concept name and the titles
@@ -207,19 +307,20 @@ type SearchResult struct {
 
 // Search answers a free-text query with concept cards and item hits.
 func (c *CoCo) Search(query string, maxItems int) SearchResult {
-	resp := c.serving.Load().search.Search(query, maxItems)
+	s := c.serving.Load()
+	resp := s.search.Search(query, maxItems)
 	var out SearchResult
 	for _, card := range resp.Cards {
-		out.Cards = append(out.Cards, ConceptCard{Name: card.Name, Items: c.itemsOf(card.Items)})
+		out.Cards = append(out.Cards, ConceptCard{Name: card.Name, Items: s.itemsOf(card.Items)})
 	}
-	out.Items = c.itemsOf(resp.Items)
+	out.Items = s.itemsOf(resp.Items)
 	return out
 }
 
-func (c *CoCo) itemsOf(ids []core.NodeID) []Item {
+func (s *servingState) itemsOf(ids []core.NodeID) []Item {
 	var out []Item
 	for _, id := range ids {
-		if it, ok := c.itemByNode[id]; ok {
+		if it, ok := s.itemByNode[id]; ok {
 			out = append(out, it)
 		}
 	}
@@ -235,13 +336,13 @@ type Recommendation struct {
 // Recommend infers the user's scenario from viewed item IDs and returns a
 // concept card of unseen items, with the concept name as the reason.
 func (c *CoCo) Recommend(viewedItemIDs []int, k int) (Recommendation, bool) {
+	s := c.serving.Load()
 	viewed := make([]core.NodeID, 0, len(viewedItemIDs))
 	for _, id := range viewedItemIDs {
-		if node, ok := c.arts.ItemNode[id]; ok {
+		if node, ok := s.itemNode[id]; ok {
 			viewed = append(viewed, node)
 		}
 	}
-	s := c.serving.Load()
 	rec, ok := s.rec.Recommend(viewed, k)
 	if !ok {
 		return Recommendation{}, false
@@ -249,7 +350,7 @@ func (c *CoCo) Recommend(viewedItemIDs []int, k int) (Recommendation, bool) {
 	nd, _ := s.frozen.Node(rec.Concept)
 	return Recommendation{
 		Reason: rec.Reason,
-		Card:   ConceptCard{Name: nd.Name, Items: c.itemsOf(rec.Items)},
+		Card:   ConceptCard{Name: nd.Name, Items: s.itemsOf(rec.Items)},
 	}, true
 }
 
@@ -298,7 +399,11 @@ func (c *CoCo) LookupConcept(name string) (Concept, bool) {
 // SampleSessions exposes simulated shopping sessions (viewed item IDs and
 // the latent scenario), useful for recommendation demos.
 func (c *CoCo) SampleSessions(n int) [][]int {
-	log := c.arts.World.ClickLog(n)
+	arts := c.arts.Load()
+	if arts.World == nil {
+		return nil
+	}
+	log := arts.World.ClickLog(n)
 	out := make([][]int, 0, n)
 	for _, s := range log {
 		out = append(out, append([]int(nil), s.Viewed...))
@@ -327,9 +432,13 @@ func (c *CoCo) Hypernyms(name string) []string {
 
 // Glosses exposes the knowledge-base gloss of a primitive concept.
 func (c *CoCo) Glosses(name string) []string {
+	arts := c.arts.Load()
+	if arts.World == nil {
+		return nil
+	}
 	var out []string
-	for _, pid := range c.arts.World.BySurface[strings.ToLower(name)] {
-		out = append(out, c.arts.World.Glosses[pid])
+	for _, pid := range arts.World.BySurface[strings.ToLower(name)] {
+		out = append(out, arts.World.Glosses[pid])
 	}
 	return out
 }
@@ -352,16 +461,20 @@ type ImpliedRelation struct {
 func (c *CoCo) InferImplicitRelations() ([]ImpliedRelation, error) {
 	c.offline.Lock()
 	defer c.offline.Unlock()
+	arts := c.arts.Load()
+	if arts.Net == nil {
+		return nil, errors.New("alicoco: infer: snapshot-loaded net has no live store to materialize into")
+	}
 	m := inference.NewMiner(c.serving.Load().frozen, inference.DefaultConfig())
 	rels := m.InferAll()
-	if _, err := m.Materialize(c.arts.Net, rels); err != nil {
+	if _, err := m.Materialize(arts.Net, rels); err != nil {
 		return nil, err
 	}
 	c.refreeze()
 	out := make([]ImpliedRelation, 0, len(rels))
 	for _, r := range rels {
-		cn, _ := c.arts.Net.Node(r.Concept)
-		pn, _ := c.arts.Net.Node(r.Primitive)
+		cn, _ := arts.Net.Node(r.Concept)
+		pn, _ := arts.Net.Node(r.Primitive)
 		out = append(out, ImpliedRelation{
 			Concept:   cn.Name,
 			Primitive: pn.Domain + ":" + pn.Name,
@@ -375,7 +488,7 @@ func (c *CoCo) InferImplicitRelations() ([]ImpliedRelation, error) {
 // Internal exposes the underlying artifacts for the cmd/ and examples/
 // binaries in this module that need lower-level access (experiments,
 // serving). External users should treat CoCo as the API.
-func (c *CoCo) Internal() *pipeline.Artifacts { return c.arts }
+func (c *CoCo) Internal() *pipeline.Artifacts { return c.arts.Load() }
 
 // WorldDomains lists the 20 taxonomy domains.
 func WorldDomains() []string { return world.DomainNames() }

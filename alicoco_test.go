@@ -128,6 +128,87 @@ func TestSaveSnapshot(t *testing.T) {
 	}
 }
 
+// TestFrozenSnapshotRoundTripFacade: SaveFrozen -> LoadFrozen restores a
+// CoCo that answers every query path like the original, ingests a reload,
+// and reports clean errors on the offline-only paths.
+func TestFrozenSnapshotRoundTripFacade(t *testing.T) {
+	c := buildSmall(t)
+	path := filepath.Join(t.TempDir(), "net.fz")
+	if err := c.SaveFrozen(path); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadFrozen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ls := c.Stats(), l.Stats()
+	if cs.Relations != ls.Relations || cs.Items != ls.Items || cs.EConcepts != ls.EConcepts {
+		t.Fatalf("stats differ:\nbuilt  %+v\nloaded %+v", cs, ls)
+	}
+	cr, lr := c.Search("outdoor barbecue", 8), l.Search("outdoor barbecue", 8)
+	if len(cr.Cards) == 0 || len(cr.Cards) != len(lr.Cards) || cr.Cards[0].Name != lr.Cards[0].Name {
+		t.Fatalf("search differs: %+v vs %+v", cr.Cards, lr.Cards)
+	}
+	if len(cr.Cards[0].Items) != len(lr.Cards[0].Items) {
+		t.Fatal("card items differ")
+	}
+	ci, li := c.Items(), l.Items()
+	if len(ci) != len(li) || ci[0] != li[0] {
+		t.Fatalf("items differ: %d vs %d", len(ci), len(li))
+	}
+	sessions := c.SampleSessions(3)
+	for _, sess := range sessions {
+		crec, cok := c.Recommend(sess, 5)
+		lrec, lok := l.Recommend(sess, 5)
+		if cok != lok || crec.Reason != lrec.Reason || len(crec.Card.Items) != len(lrec.Card.Items) {
+			t.Fatalf("recommendation differs for %v", sess)
+		}
+	}
+	if h := l.Hypernyms("coat"); len(h) == 0 {
+		t.Fatal("loaded net lost hypernyms")
+	}
+	// Offline-only paths degrade cleanly on a snapshot-loaded CoCo.
+	if l.SampleSessions(1) != nil {
+		t.Fatal("snapshot-loaded CoCo should have no sessions")
+	}
+	if l.Glosses("barbecue") != nil {
+		t.Fatal("snapshot-loaded CoCo should have no glosses")
+	}
+	if _, err := l.InferImplicitRelations(); err == nil {
+		t.Fatal("infer on snapshot-loaded CoCo should error")
+	}
+	if err := l.Refreeze(); err == nil {
+		t.Fatal("refreeze on snapshot-loaded CoCo should error")
+	}
+	if err := l.SaveSnapshot(filepath.Join(t.TempDir(), "x.coco")); err == nil {
+		t.Fatal("legacy snapshot of snapshot-loaded CoCo should error")
+	}
+	// But the frozen snapshot itself can be re-saved and reloaded.
+	path2 := filepath.Join(t.TempDir(), "net2.fz")
+	if err := l.SaveFrozen(path2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReloadFrozen(path2); err != nil {
+		t.Fatal(err)
+	}
+	if res := l.Search("outdoor barbecue", 8); len(res.Cards) == 0 {
+		t.Fatal("no card after reload")
+	}
+}
+
+func TestLoadFrozenRejectsMissingAndCorrupt(t *testing.T) {
+	if _, err := LoadFrozen(filepath.Join(t.TempDir(), "missing.fz")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.fz")
+	if err := os.WriteFile(bad, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrozen(bad); err == nil {
+		t.Fatal("corrupt file should error")
+	}
+}
+
 func TestWorldDomains(t *testing.T) {
 	if len(WorldDomains()) != 20 {
 		t.Fatal("paper defines 20 domains")

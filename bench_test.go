@@ -7,6 +7,7 @@
 package alicoco
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -446,6 +447,57 @@ func BenchmarkFrozenVsLockedNodesOfKind(b *testing.B) {
 	lockedVsFrozen(b, a, func(_ *testing.B, net core.Reader) {
 		net.NodesOfKind(core.KindEConcept)
 	})
+}
+
+// --- cold-start benchmarks ---------------------------------------------
+//
+// The pair contrasts the two ways a server can reach serving state:
+// rebuild everything from scratch (world, corpus, embeddings, net, freeze)
+// versus re-reading the frozen binary snapshot from a byte stream.
+// scripts/bench.sh records both in BENCH_core.json; the frozen side is
+// expected to win by orders of magnitude since it is bounded by I/O
+// bandwidth, not model training.
+
+// BenchmarkColdStartLive measures a from-scratch cold start at test scale:
+// the full pipeline build ending in a published frozen snapshot.
+func BenchmarkColdStartLive(b *testing.B) {
+	opts := pipeline.TinyOptions()
+	for i := 0; i < b.N; i++ {
+		a, err := pipeline.Build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Frozen.NumNodes() == 0 {
+			b.Fatal("empty net")
+		}
+	}
+}
+
+// BenchmarkColdStartFrozen measures cold start from a snapshot: one
+// LoadSnapshot pass over the serialized bytes of the same net
+// BenchmarkColdStartLive builds.
+func BenchmarkColdStartFrozen(b *testing.B) {
+	a, err := pipeline.Build(pipeline.TinyOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.SaveSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arts, err := pipeline.LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if arts.Frozen.NumNodes() != a.Frozen.NumNodes() {
+			b.Fatal("loaded net differs")
+		}
+	}
 }
 
 // BenchmarkFrozenSearchEngine measures an end-to-end query through the

@@ -5,28 +5,53 @@
 // Usage:
 //
 //	alicoco [-scale small|default] [-out net.coco] [-query "outdoor barbecue"]
+//	alicoco snapshot save [-scale small|default] -out net.fz
+//	alicoco snapshot load -in net.fz [-query "outdoor barbecue"]
+//
+// `snapshot save` builds the net and writes the frozen serving snapshot;
+// `snapshot load` restores it without rebuilding (cold start proportional
+// to disk bandwidth) and can answer queries against it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"alicoco"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		if len(os.Args) > 2 {
+			switch os.Args[2] {
+			case "save":
+				snapshotSave(os.Args[3:])
+				return
+			case "load":
+				snapshotLoad(os.Args[3:])
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, "usage: alicoco snapshot save|load [flags]")
+		os.Exit(2)
+	}
+
 	scale := flag.String("scale", "default", "build scale: small or default")
 	out := flag.String("out", "", "path to save a binary snapshot of the net")
 	query := flag.String("query", "", "optionally run one search query against the built net")
 	flag.Parse()
-
-	opts := alicoco.Default()
-	if *scale == "small" {
-		opts = alicoco.Small()
+	if flag.NArg() > 0 {
+		// Catches e.g. `alicoco -scale small snapshot save`: the subcommand
+		// must come first, or it would be silently ignored here.
+		fmt.Fprintf(os.Stderr, "unexpected argument %q (subcommands go before flags: alicoco snapshot save|load [flags])\n", flag.Arg(0))
+		os.Exit(2)
 	}
+
 	log.Printf("building AliCoCo (scale=%s)...", *scale)
-	coco, err := alicoco.Build(opts)
+	coco, err := alicoco.Build(scaleOptions(*scale))
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}
@@ -39,22 +64,85 @@ func main() {
 		log.Printf("snapshot written to %s", *out)
 	}
 
-	if *query != "" {
-		res := coco.Search(*query, 8)
-		fmt.Printf("\nquery: %q\n", *query)
-		for _, card := range res.Cards {
-			fmt.Printf("  concept card: %s\n", card.Name)
-			for _, it := range card.Items {
-				fmt.Printf("    - %s\n", it.Title)
-			}
+	runQuery(coco, *query)
+}
+
+func rejectExtraArgs(fs *flag.FlagSet) {
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func scaleOptions(scale string) alicoco.Options {
+	if scale == "small" {
+		return alicoco.Small()
+	}
+	return alicoco.Default()
+}
+
+// snapshotSave builds the net and writes the frozen serving snapshot.
+func snapshotSave(args []string) {
+	fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
+	scale := fs.String("scale", "default", "build scale: small or default")
+	out := fs.String("out", "net.fz", "path to write the frozen snapshot")
+	fs.Parse(args)
+	rejectExtraArgs(fs)
+
+	log.Printf("building AliCoCo (scale=%s)...", *scale)
+	start := time.Now()
+	coco, err := alicoco.Build(scaleOptions(*scale))
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	log.Printf("built in %v", time.Since(start).Round(time.Millisecond))
+	if err := coco.SaveFrozen(*out); err != nil {
+		log.Fatalf("save frozen: %v", err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatalf("stat: %v", err)
+	}
+	log.Printf("frozen snapshot written to %s (%d bytes)", *out, info.Size())
+	fmt.Println(coco.Stats().Render())
+}
+
+// snapshotLoad restores a frozen snapshot and optionally queries it.
+func snapshotLoad(args []string) {
+	fs := flag.NewFlagSet("snapshot load", flag.ExitOnError)
+	in := fs.String("in", "net.fz", "path of the frozen snapshot to load")
+	query := fs.String("query", "", "optionally run one search query against the loaded net")
+	fs.Parse(args)
+	rejectExtraArgs(fs)
+
+	start := time.Now()
+	coco, err := alicoco.LoadFrozen(*in)
+	if err != nil {
+		log.Fatalf("load frozen: %v", err)
+	}
+	log.Printf("loaded %s in %v", *in, time.Since(start).Round(time.Millisecond))
+	fmt.Println(coco.Stats().Render())
+	runQuery(coco, *query)
+}
+
+func runQuery(coco *alicoco.CoCo, query string) {
+	if query == "" {
+		return
+	}
+	res := coco.Search(query, 8)
+	fmt.Printf("\nquery: %q\n", query)
+	for _, card := range res.Cards {
+		fmt.Printf("  concept card: %s\n", card.Name)
+		for _, it := range card.Items {
+			fmt.Printf("    - %s\n", it.Title)
 		}
-		if len(res.Cards) == 0 {
-			for i, it := range res.Items {
-				if i >= 8 {
-					break
-				}
-				fmt.Printf("  item: %s\n", it.Title)
+	}
+	if len(res.Cards) == 0 {
+		for i, it := range res.Items {
+			if i >= 8 {
+				break
 			}
+			fmt.Printf("  item: %s\n", it.Title)
 		}
 	}
 }

@@ -4,13 +4,23 @@
 //
 // Endpoints:
 //
-//	GET /stats
-//	GET /search?q=outdoor+barbecue
-//	GET /concept?name=outdoor+barbecue
-//	GET /recommend?items=1,2,3&k=10
-//	GET /hypernyms?name=coat
+//	GET  /stats
+//	GET  /search?q=outdoor+barbecue
+//	GET  /concept?name=outdoor+barbecue
+//	GET  /recommend?items=1,2,3&k=10
+//	GET  /hypernyms?name=coat
+//	POST /reload
 //
 // Usage: cocoserve [-addr :8080] [-scale small|default]
+//
+//	[-snapshot net.fz] [-refresh 5m]
+//
+// With -snapshot, startup loads the frozen serving snapshot written by
+// `alicoco snapshot save` instead of rebuilding the net — cold start is
+// proportional to disk bandwidth. POST /reload re-reads the snapshot (or
+// re-freezes the live net when built without one) and hot-swaps it behind
+// the atomic serving pointer, so in-flight and concurrent queries keep
+// answering without downtime; -refresh does the same on a timer.
 package main
 
 import (
@@ -20,12 +30,22 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"alicoco"
 )
 
+// maxRecommendK caps the k parameter of /recommend so a single request
+// cannot ask for an unbounded result set.
+const maxRecommendK = 100
+
 type server struct {
 	coco *alicoco.CoCo
+
+	// snapshot is the file /reload re-reads; empty when the net was built
+	// live, in which case /reload re-freezes instead. Reloads serialize on
+	// the facade's own offline lock; queries are never blocked.
+	snapshot string
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, v any) {
@@ -50,6 +70,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		return
+	}
 	cpt, ok := s.coco.LookupConcept(name)
 	if !ok {
 		http.Error(w, "concept not found", http.StatusNotFound)
@@ -66,7 +90,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		id, err := strconv.Atoi(part)
-		if err != nil {
+		if err != nil || id < 0 {
 			http.Error(w, "bad items parameter", http.StatusBadRequest)
 			return
 		}
@@ -74,9 +98,15 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	k := 10
 	if ks := r.URL.Query().Get("k"); ks != "" {
-		if v, err := strconv.Atoi(ks); err == nil && v > 0 {
-			k = v
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
 		}
+		if v > maxRecommendK {
+			v = maxRecommendK
+		}
+		k = v
 	}
 	rec, ok := s.coco.Recommend(ids, k)
 	if !ok {
@@ -91,32 +121,98 @@ func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]any{"name": name, "hypernyms": s.coco.Hypernyms(name)})
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	scale := flag.String("scale", "small", "build scale: small or default")
-	flag.Parse()
-
-	opts := alicoco.Small()
-	if *scale == "default" {
-		opts = alicoco.Default()
+// handleReload swaps in a fresh serving snapshot: re-read from the snapshot
+// file when one was configured, otherwise a re-freeze of the live net.
+// Queries keep serving the old snapshot throughout; the swap itself is one
+// atomic pointer store.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
 	}
-	log.Printf("building net (scale=%s)...", *scale)
-	coco, err := alicoco.Build(opts)
+	source, err := s.reload()
 	if err != nil {
-		log.Fatalf("build: %v", err)
+		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+		return
 	}
-	// Build freezes the net into an immutable CSR snapshot; every handler
-	// below reads that snapshot lock-free, so request handling never
-	// contends with anything.
-	frozen := coco.Internal().Frozen
-	log.Printf("serving from frozen snapshot: %d nodes, %d edges", frozen.NumNodes(), frozen.NumEdges())
-	s := &server{coco: coco}
+	nodes, edges := s.servingCounts()
+	s.writeJSON(w, map[string]any{
+		"status": "reloaded",
+		"source": source,
+		"nodes":  nodes,
+		"edges":  edges,
+	})
+}
+
+func (s *server) reload() (source string, err error) {
+	if s.snapshot != "" {
+		return "snapshot:" + s.snapshot, s.coco.ReloadFrozen(s.snapshot)
+	}
+	return "refreeze", s.coco.Refreeze()
+}
+
+// servingCounts reads node/edge counts from the published serving
+// snapshot (not Internal().Frozen, which a concurrent refreeze mutates).
+func (s *server) servingCounts() (nodes, edges int) {
+	st := s.coco.Stats()
+	return st.Classes + st.Primitives + st.EConcepts + st.Items, st.Relations
+}
+
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/concept", s.handleConcept)
 	mux.HandleFunc("/recommend", s.handleRecommend)
 	mux.HandleFunc("/hypernyms", s.handleHypernyms)
+	mux.HandleFunc("/reload", s.handleReload)
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "small", "build scale: small or default")
+	snapshot := flag.String("snapshot", "", "serve from a frozen snapshot file instead of building")
+	refresh := flag.Duration("refresh", 0, "if > 0, reload the snapshot (or refreeze) on this interval")
+	flag.Parse()
+
+	var coco *alicoco.CoCo
+	var err error
+	if *snapshot != "" {
+		start := time.Now()
+		coco, err = alicoco.LoadFrozen(*snapshot)
+		if err != nil {
+			log.Fatalf("load snapshot: %v", err)
+		}
+		log.Printf("loaded snapshot %s in %v", *snapshot, time.Since(start).Round(time.Millisecond))
+	} else {
+		opts := alicoco.Small()
+		if *scale == "default" {
+			opts = alicoco.Default()
+		}
+		log.Printf("building net (scale=%s)...", *scale)
+		coco, err = alicoco.Build(opts)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+	}
+	// Every handler reads the published frozen snapshot lock-free, so
+	// request handling never contends with anything — including reloads.
+	frozen := coco.Internal().Frozen
+	log.Printf("serving from frozen snapshot: %d nodes, %d edges", frozen.NumNodes(), frozen.NumEdges())
+	s := &server{coco: coco, snapshot: *snapshot}
+	if *refresh > 0 {
+		go func() {
+			for range time.Tick(*refresh) {
+				if src, err := s.reload(); err != nil {
+					log.Printf("periodic reload: %v", err)
+				} else {
+					nodes, edges := s.servingCounts()
+					log.Printf("periodic reload from %s: %d nodes, %d edges", src, nodes, edges)
+				}
+			}
+		}()
+	}
 	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"alicoco"
+)
+
+var (
+	snapOnce   sync.Once
+	snapErr    error
+	snapPath   string
+	snapLoaded *server // serves from the loaded snapshot, reload re-reads the file
+)
+
+// snapshotFixture saves the shared built net to a frozen snapshot once and
+// loads a second, snapshot-backed server from it.
+func snapshotFixture(t *testing.T) (built *server, loaded *server, path string) {
+	t.Helper()
+	built = testServer(t)
+	snapOnce.Do(func() {
+		// The fixture outlives the first test that builds it, so it cannot
+		// live in that test's TempDir.
+		dir, err := os.MkdirTemp("", "cocoserve-snap-")
+		if err != nil {
+			snapErr = err
+			return
+		}
+		snapPath = filepath.Join(dir, "net.fz")
+		if err := built.coco.SaveFrozen(snapPath); err != nil {
+			snapErr = err
+			return
+		}
+		coco, err := alicoco.LoadFrozen(snapPath)
+		if err != nil {
+			snapErr = err
+			return
+		}
+		snapLoaded = &server{coco: coco, snapshot: snapPath}
+	})
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	return built, snapLoaded, snapPath
+}
+
+func get(s *server, url string) (int, string) {
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestSnapshotServesIdenticalAnswers: a cocoserve started from -snapshot
+// must answer every endpoint byte-identically to the freshly built net it
+// was saved from.
+func TestSnapshotServesIdenticalAnswers(t *testing.T) {
+	built, loaded, _ := snapshotFixture(t)
+
+	urls := []string{
+		"/stats",
+		"/search?q=outdoor+barbecue",
+		"/search?q=winter+coat",
+		"/concept?name=outdoor+barbecue",
+		"/hypernyms?name=coat",
+		"/hypernyms?name=grill",
+	}
+	sessions := built.coco.SampleSessions(3)
+	for _, sess := range sessions {
+		parts := make([]string, len(sess))
+		for i, id := range sess {
+			parts[i] = strconv.Itoa(id)
+		}
+		urls = append(urls, "/recommend?items="+strings.Join(parts, ",")+"&k=5")
+	}
+	for _, url := range urls {
+		bCode, bBody := get(built, url)
+		lCode, lBody := get(loaded, url)
+		if bCode != lCode {
+			t.Fatalf("%s: status %d (built) vs %d (snapshot)", url, bCode, lCode)
+		}
+		if bBody != lBody {
+			t.Fatalf("%s: answers differ\nbuilt:    %s\nsnapshot: %s", url, bBody, lBody)
+		}
+	}
+}
+
+// TestReloadHotSwapUnderLoad hammers the query endpoints from several
+// goroutines while /reload re-reads the snapshot repeatedly: every query
+// must keep succeeding with a correct answer (zero downtime), and every
+// reload must succeed. Run under -race this also proves the swap is sound.
+func TestReloadHotSwapUnderLoad(t *testing.T) {
+	_, loaded, _ := snapshotFixture(t)
+	_, wantSearch := get(loaded, "/search?q=outdoor+barbecue")
+
+	stop := make(chan struct{})
+	errc := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body := get(loaded, "/search?q=outdoor+barbecue")
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("search status %d during reload", code)
+					return
+				}
+				if body != wantSearch {
+					errc <- fmt.Errorf("search answer changed during reload")
+					return
+				}
+				if code, _ := get(loaded, "/stats"); code != http.StatusOK {
+					errc <- fmt.Errorf("stats status %d during reload", code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		loaded.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/reload", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("reload %d: status %d: %s", i, rec.Code, rec.Body.String())
+			break
+		}
+		var resp struct {
+			Status string `json:"status"`
+			Nodes  int    `json:"nodes"`
+			Edges  int    `json:"edges"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Errorf("reload %d: bad response: %v", i, err)
+			break
+		}
+		if resp.Status != "reloaded" || resp.Nodes == 0 || resp.Edges == 0 {
+			t.Errorf("reload %d: unexpected response %+v", i, resp)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestReloadRefreezesLiveNet: without a snapshot file the endpoint falls
+// back to re-freezing the live net.
+func TestReloadRefreezesLiveNet(t *testing.T) {
+	built := testServer(t)
+	rec := httptest.NewRecorder()
+	built.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "refreeze") {
+		t.Fatalf("expected refreeze source: %s", rec.Body.String())
+	}
+}
+
+func TestReloadRequiresPOST(t *testing.T) {
+	_, loaded, _ := snapshotFixture(t)
+	if code, _ := get(loaded, "/reload"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload: status %d, want 405", code)
+	}
+}
+
+// --- parameter validation (satellite bugfixes) --------------------------
+
+func TestHandleRecommendRejectsNegativeIDs(t *testing.T) {
+	s := testServer(t)
+	for _, q := range []string{"items=-1", "items=3,-7,2", "items=-0x2"} {
+		if code, _ := get(s, "/recommend?"+q); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestHandleRecommendValidatesK(t *testing.T) {
+	s := testServer(t)
+	sessions := s.coco.SampleSessions(1)
+	if len(sessions) == 0 || len(sessions[0]) == 0 {
+		t.Fatal("no sessions")
+	}
+	parts := make([]string, len(sessions[0]))
+	for i, id := range sessions[0] {
+		parts[i] = strconv.Itoa(id)
+	}
+	items := strings.Join(parts, ",")
+
+	for _, k := range []string{"0", "-3", "abc"} {
+		if code, _ := get(s, "/recommend?items="+items+"&k="+k); code != http.StatusBadRequest {
+			t.Fatalf("k=%s: status %d, want 400", k, code)
+		}
+	}
+	// Huge k is capped, not rejected: the request succeeds with a bounded
+	// result set.
+	code, body := get(s, "/recommend?items="+items+"&k=999999")
+	if code != http.StatusOK {
+		t.Fatalf("huge k: status %d: %s", code, body)
+	}
+	var r alicoco.Recommendation
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Card.Items) > maxRecommendK {
+		t.Fatalf("huge k not capped: %d items", len(r.Card.Items))
+	}
+}
+
+func TestHandleConceptEmptyNameIsBadRequest(t *testing.T) {
+	s := testServer(t)
+	if code, _ := get(s, "/concept"); code != http.StatusBadRequest {
+		t.Fatalf("missing name: status %d, want 400", code)
+	}
+	if code, _ := get(s, "/concept?name="); code != http.StatusBadRequest {
+		t.Fatalf("empty name: status %d, want 400", code)
+	}
+	if code, _ := get(s, "/concept?name=nope"); code != http.StatusNotFound {
+		t.Fatalf("missing concept: status %d, want 404", code)
+	}
+}

@@ -29,6 +29,11 @@ func (n *Net) Save(w io.Writer) error {
 }
 
 // Load reads a snapshot written by Save and returns the reconstructed net.
+// Every structural field is validated — node IDs against slice indexes,
+// node and edge kinds against their enum ranges, adjacency shape, and the
+// edge counter (recomputed from adjacency rather than trusted) — so a
+// corrupt snapshot returns an error here instead of panicking later in
+// buildCSR or Freeze.
 func Load(r io.Reader) (*Net, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
@@ -37,23 +42,44 @@ func Load(r io.Reader) (*Net, error) {
 	if s.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", s.Version)
 	}
+	if s.Edges < 0 {
+		return nil, fmt.Errorf("core: load: negative edge count %d", s.Edges)
+	}
+	if len(s.Out) != len(s.Nodes) {
+		return nil, fmt.Errorf("core: load: adjacency for %d nodes, snapshot has %d", len(s.Out), len(s.Nodes))
+	}
+	for i, nd := range s.Nodes {
+		if nd.ID != NodeID(i) {
+			return nil, fmt.Errorf("core: load: node at index %d carries id %d", i, nd.ID)
+		}
+		if nd.Kind < 0 || nd.Kind >= numKinds {
+			return nil, fmt.Errorf("core: load: node %d has kind %d out of range", i, nd.Kind)
+		}
+	}
 	n := NewNet()
 	n.nodes = s.Nodes
 	n.outAdj = s.Out
-	n.edges = s.Edges
 	n.inAdj = make([][]HalfEdge, len(s.Nodes))
 	for _, nd := range s.Nodes {
 		n.byName[nd.Name] = append(n.byName[nd.Name], nd.ID)
 	}
+	edges := 0
 	for from, hes := range s.Out {
 		for _, he := range hes {
 			if !n.valid(he.Peer) {
 				return nil, fmt.Errorf("core: load: edge to invalid node %d", he.Peer)
 			}
+			if he.Kind < 0 || he.Kind >= numEdgeKinds {
+				return nil, fmt.Errorf("core: load: edge %d->%d has kind %d out of range", from, he.Peer, he.Kind)
+			}
 			n.inAdj[he.Peer] = append(n.inAdj[he.Peer], HalfEdge{
 				Peer: NodeID(from), Kind: he.Kind, Rel: he.Rel, Weight: he.Weight,
 			})
+			edges++
 		}
 	}
+	// The stored counter is advisory only: a stale value would poison
+	// NumEdges and Stats forever, so recompute from adjacency.
+	n.edges = edges
 	return n, nil
 }

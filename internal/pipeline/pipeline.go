@@ -85,6 +85,12 @@ type Artifacts struct {
 	FrameNode map[int]core.NodeID
 	ItemNode  map[int]core.NodeID
 	DomainCls map[world.Domain]core.NodeID
+
+	// Serving is the world-derived metadata the serving layer needs
+	// (stopwords, item table). Build derives it from World; LoadSnapshot
+	// restores it, which is what lets a snapshot-loaded Artifacts serve
+	// with World == nil.
+	Serving *ServingMeta
 }
 
 // Build runs the full construction.
@@ -122,6 +128,7 @@ func Build(opts Options) (*Artifacts, error) {
 		return nil, fmt.Errorf("pipeline: items: %w", err)
 	}
 	a.Frozen = a.Net.Freeze()
+	a.Serving = a.buildServingMeta()
 	return a, nil
 }
 

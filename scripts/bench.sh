@@ -4,9 +4,10 @@
 # Usage: scripts/bench.sh [benchtime]
 #
 # Runs the BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark)
-# and writes BENCH_core.json at the repo root: one record per benchmark
-# with ns/op, B/op, and allocs/op, so future PRs can diff serving
-# performance against this one.
+# and the BenchmarkColdStart{Live,Frozen} pair, and writes BENCH_core.json
+# at the repo root: one record per benchmark with ns/op, B/op, and
+# allocs/op, so future PRs can diff serving performance (and snapshot
+# cold-start time) against this one.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,7 +16,7 @@ OUT=BENCH_core.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries' \
+go test -run '^$' -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart' \
     -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
 
 awk '
