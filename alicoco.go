@@ -15,14 +15,17 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"alicoco/internal/apps/recommend"
 	"alicoco/internal/apps/search"
 	"alicoco/internal/core"
 	"alicoco/internal/inference"
+	"alicoco/internal/par"
 	"alicoco/internal/pipeline"
 	"alicoco/internal/world"
 )
@@ -59,9 +62,10 @@ func Default() Options {
 // ReloadFrozen (each publishes a fresh snapshot by swapping the pointer,
 // never by mutating one in place).
 type CoCo struct {
-	arts    atomic.Pointer[pipeline.Artifacts]
-	offline sync.Mutex // serializes offline mutation + republish cycles
-	serving atomic.Pointer[servingState]
+	arts       atomic.Pointer[pipeline.Artifacts]
+	offline    sync.Mutex // serializes offline mutation + republish cycles
+	serving    atomic.Pointer[servingState]
+	generation atomic.Uint64 // counts published serving snapshots
 }
 
 // servingState bundles a frozen snapshot with the engines and item index
@@ -73,7 +77,25 @@ type servingState struct {
 	items      []Item               // world order, for deterministic listings
 	itemByNode map[core.NodeID]Item // net node -> facade item
 	itemNode   map[int]core.NodeID  // world item ID -> net node
+	info       ServingInfo
 }
+
+// ServingInfo identifies the snapshot queries are currently served from:
+// where it came from, how many times serving has been republished, the
+// checksum of the snapshot file (when loaded from disk), and when it went
+// live — the operational metadata a fleet needs to tell which net version
+// each replica is answering with.
+type ServingInfo struct {
+	Source      string    // "build", "snapshot", or "refreeze"
+	Generation  uint64    // increments with every published serving state
+	Checksum    string    // CRC-32 (hex) of the loaded snapshot file; "" for in-process freezes
+	PublishedAt time.Time // when this serving state was swapped in
+	Nodes       int
+	Edges       int
+}
+
+// ServingInfo describes the currently published serving snapshot.
+func (c *CoCo) ServingInfo() ServingInfo { return c.serving.Load().info }
 
 // Build constructs the net end-to-end from a synthetic corpus.
 func Build(opts Options) (*CoCo, error) {
@@ -92,7 +114,7 @@ func Build(opts Options) (*CoCo, error) {
 	// reads, postings pre-sorted at freeze time.
 	c := &CoCo{}
 	c.arts.Store(arts)
-	c.publish(arts)
+	c.publish(arts, "build")
 	return c, nil
 }
 
@@ -120,7 +142,7 @@ func LoadFrozen(path string) (*CoCo, error) {
 	}
 	c := &CoCo{}
 	c.arts.Store(arts)
-	c.publish(arts)
+	c.publish(arts, "snapshot")
 	return c, nil
 }
 
@@ -165,7 +187,7 @@ func (c *CoCo) ReloadFrozen(path string) error {
 	c.offline.Lock()
 	defer c.offline.Unlock()
 	c.arts.Store(arts)
-	c.publish(arts)
+	c.publish(arts, "snapshot")
 	return nil
 }
 
@@ -179,7 +201,7 @@ func (c *CoCo) Refreeze() error {
 		return errors.New("alicoco: refreeze: snapshot-loaded net has no live store")
 	}
 	arts.Refreeze()
-	c.publish(arts)
+	c.publish(arts, "refreeze")
 	return nil
 }
 
@@ -197,9 +219,13 @@ func buildItemIndex(meta *pipeline.ServingMeta) ([]Item, map[core.NodeID]Item, m
 }
 
 // publish swaps in a serving state built on the artifacts' frozen snapshot.
-func (c *CoCo) publish(arts *pipeline.Artifacts) {
+func (c *CoCo) publish(arts *pipeline.Artifacts, source string) {
 	frozen := arts.Frozen
 	items, rev, fwd := buildItemIndex(arts.Serving)
+	checksum := ""
+	if source == "snapshot" { // only snapshot files have a recorded CRC
+		checksum = fmt.Sprintf("%08x", frozen.Checksum())
+	}
 	c.serving.Store(&servingState{
 		frozen:     frozen,
 		search:     search.NewEngine(frozen, arts.Serving.Stopwords),
@@ -207,6 +233,14 @@ func (c *CoCo) publish(arts *pipeline.Artifacts) {
 		items:      items,
 		itemByNode: rev,
 		itemNode:   fwd,
+		info: ServingInfo{
+			Source:      source,
+			Generation:  c.generation.Add(1),
+			Checksum:    checksum,
+			PublishedAt: time.Now(),
+			Nodes:       frozen.NumNodes(),
+			Edges:       frozen.NumEdges(),
+		},
 	})
 }
 
@@ -215,7 +249,7 @@ func (c *CoCo) publish(arts *pipeline.Artifacts) {
 func (c *CoCo) refreeze() {
 	arts := c.arts.Load()
 	arts.Refreeze()
-	c.publish(arts)
+	c.publish(arts, "refreeze")
 }
 
 // SaveSnapshot writes the mutable net to a file in the legacy gob format
@@ -307,7 +341,50 @@ type SearchResult struct {
 
 // Search answers a free-text query with concept cards and item hits.
 func (c *CoCo) Search(query string, maxItems int) SearchResult {
+	return c.serving.Load().searchOne(query, maxItems)
+}
+
+// batchTokens bounds the total fan-out worker count across all concurrent
+// batch calls: each call takes as many tokens as are free (always at least
+// its calling goroutine), so one batch alone uses every core while many
+// concurrent batches degrade toward one worker each instead of spawning
+// GOMAXPROCS goroutines apiece and oversubscribing the scheduler.
+var batchTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// batchFor fans fn over [0, n) with an admission-controlled worker count.
+func batchFor(n int, fn func(i int)) {
+	workers := 1 // the calling goroutine always works
+	defer func() {
+		for ; workers > 1; workers-- {
+			<-batchTokens
+		}
+	}()
+	for workers < n {
+		select {
+		case batchTokens <- struct{}{}:
+			workers++
+			continue
+		default:
+		}
+		break
+	}
+	par.For(workers, n, fn)
+}
+
+// SearchBatch answers a page of queries in one call, all pinned to the
+// same serving snapshot (a concurrent reload cannot split a batch across
+// net versions) and fanned out across a bounded worker pool into
+// index-addressed slots, so results line up with queries.
+func (c *CoCo) SearchBatch(queries []string, maxItems int) []SearchResult {
 	s := c.serving.Load()
+	out := make([]SearchResult, len(queries))
+	batchFor(len(queries), func(i int) {
+		out[i] = s.searchOne(queries[i], maxItems)
+	})
+	return out
+}
+
+func (s *servingState) searchOne(query string, maxItems int) SearchResult {
 	resp := s.search.Search(query, maxItems)
 	var out SearchResult
 	for _, card := range resp.Cards {
@@ -336,7 +413,30 @@ type Recommendation struct {
 // Recommend infers the user's scenario from viewed item IDs and returns a
 // concept card of unseen items, with the concept name as the reason.
 func (c *CoCo) Recommend(viewedItemIDs []int, k int) (Recommendation, bool) {
+	return c.serving.Load().recommendOne(viewedItemIDs, k)
+}
+
+// BatchRecommendation is one session's outcome in a RecommendBatch: Found
+// reports whether the session produced a recommendation.
+type BatchRecommendation struct {
+	Found bool
+	Recommendation
+}
+
+// RecommendBatch recommends for a page of sessions in one call, pinned to
+// one serving snapshot and fanned across the same bounded worker pool as
+// SearchBatch; results line up with sessions.
+func (c *CoCo) RecommendBatch(sessions [][]int, k int) []BatchRecommendation {
 	s := c.serving.Load()
+	out := make([]BatchRecommendation, len(sessions))
+	batchFor(len(sessions), func(i int) {
+		rec, ok := s.recommendOne(sessions[i], k)
+		out[i] = BatchRecommendation{Found: ok, Recommendation: rec}
+	})
+	return out
+}
+
+func (s *servingState) recommendOne(viewedItemIDs []int, k int) (Recommendation, bool) {
 	viewed := make([]core.NodeID, 0, len(viewedItemIDs))
 	for _, id := range viewedItemIDs {
 		if node, ok := s.itemNode[id]; ok {

@@ -8,6 +8,7 @@ package alicoco
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
 
@@ -425,6 +426,8 @@ func BenchmarkFrozenVsLockedConceptCard(b *testing.B) {
 
 // BenchmarkFrozenVsLockedRecommend measures one cognitive recommendation
 // (Section 8.2): concept voting over a session plus unseen-item selection.
+// Engines are built once per store, the way serving builds one engine per
+// published snapshot.
 func BenchmarkFrozenVsLockedRecommend(b *testing.B) {
 	a := benchArtifacts(b)
 	raw := a.World.ClickLog(20)
@@ -432,12 +435,21 @@ func BenchmarkFrozenVsLockedRecommend(b *testing.B) {
 	for _, id := range raw[0].Viewed {
 		viewed = append(viewed, a.ItemNode[id])
 	}
-	lockedVsFrozen(b, a, func(b *testing.B, net core.Reader) {
-		engine := recommend.NewEngine(net)
-		if _, ok := engine.Recommend(viewed, 10); !ok {
-			b.Fatal("no recommendation")
-		}
-	})
+	engines := map[string]*recommend.Engine{
+		"locked": recommend.NewEngine(a.Net),
+		"frozen": recommend.NewEngine(a.Frozen),
+	}
+	for _, name := range []string{"locked", "frozen"} {
+		engine := engines[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := engine.Recommend(viewed, 10); !ok {
+					b.Fatal("no recommendation")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFrozenVsLockedNodesOfKind measures the per-layer index: the
@@ -516,5 +528,148 @@ func BenchmarkFrozenSearchEngine(b *testing.B) {
 				engine.Search("outdoor barbecue", 10)
 			}
 		})
+	}
+}
+
+// --- parallel serving benchmarks ---------------------------------------
+//
+// The zero-allocation query path is built for many goroutines hitting one
+// frozen snapshot: scratch state is pooled per engine, responses are
+// caller-reused, reads are lock-free. b.RunParallel exercises exactly that
+// shape; allocs/op is the headline number (expected 0 for exact-match
+// search) and bench.sh records it in BENCH_core.json.
+
+func benchCoCo(b *testing.B) *CoCo {
+	a := benchArtifacts(b)
+	c := &CoCo{}
+	c.arts.Store(a)
+	c.publish(a, "build")
+	return c
+}
+
+// BenchmarkParallelFrozenSearch measures concurrent exact-match queries
+// through SearchInto with per-goroutine reused Responses.
+func BenchmarkParallelFrozenSearch(b *testing.B) {
+	a := benchArtifacts(b)
+	engine := search.NewEngine(a.Frozen, a.World.Stopwords())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var resp search.Response
+		for pb.Next() {
+			engine.SearchInto(&resp, "outdoor barbecue", 10)
+		}
+	})
+}
+
+// BenchmarkParallelFrozenRecommend measures concurrent sessions through
+// RecommendInto with per-goroutine reused Recommendations.
+func BenchmarkParallelFrozenRecommend(b *testing.B) {
+	a := benchArtifacts(b)
+	raw := a.World.ClickLog(20)
+	var viewed []core.NodeID
+	for _, id := range raw[0].Viewed {
+		viewed = append(viewed, a.ItemNode[id])
+	}
+	engine := recommend.NewEngine(a.Frozen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var rec recommend.Recommendation
+		for pb.Next() {
+			engine.RecommendInto(&rec, viewed, 10)
+		}
+	})
+}
+
+// BenchmarkParallelFrozenTraversal measures concurrent append-style BFS
+// into per-goroutine reused buffers (the pooled visited arrays are the
+// shared resource under contention).
+func BenchmarkParallelFrozenTraversal(b *testing.B) {
+	a := benchArtifacts(b)
+	coat := a.Net.FirstByNameKind("coat", core.KindPrimitive)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var dst []core.NodeID
+		for pb.Next() {
+			dst = a.Frozen.AppendAncestors(dst[:0], coat, 0)
+		}
+	})
+}
+
+// --- batch serving benchmarks ------------------------------------------
+//
+// One facade batch call versus the same page of queries issued one at a
+// time: the batch pins a single snapshot and fans across internal/par
+// workers, so on multi-core hosts it wins wall-clock; on one core it
+// documents the overhead floor.
+
+func benchBatchQueries(a *pipeline.Artifacts) []string {
+	queries := []string{"outdoor barbecue", "winter coat", "grill", "coat"}
+	for _, qs := range a.World.QuerySet(28) {
+		queries = append(queries, strings.Join(qs.Tokens, " "))
+	}
+	return queries
+}
+
+// BenchmarkBatchServeSearch compares a 32-query page served sequentially
+// against one SearchBatch call.
+func BenchmarkBatchServeSearch(b *testing.B) {
+	c := benchCoCo(b)
+	queries := benchBatchQueries(benchArtifacts(b))
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				c.Search(q, 10)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.SearchBatch(queries, 10)
+		}
+	})
+}
+
+// BenchmarkBatchServeRecommend compares a page of sessions served
+// sequentially against one RecommendBatch call.
+func BenchmarkBatchServeRecommend(b *testing.B) {
+	c := benchCoCo(b)
+	sessions := c.SampleSessions(32)
+	if len(sessions) == 0 {
+		b.Fatal("no sessions")
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sessions {
+				c.Recommend(s, 10)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.RecommendBatch(sessions, 10)
+		}
+	})
+}
+
+// BenchmarkSearchIntoReused is the single-goroutine zero-allocation
+// headline: exact-match search through a reused Response on the frozen
+// snapshot (compare against BenchmarkFrozenSearchEngine/frozen, which
+// allocates a fresh Response per query).
+func BenchmarkSearchIntoReused(b *testing.B) {
+	a := benchArtifacts(b)
+	engine := search.NewEngine(a.Frozen, a.World.Stopwords())
+	var resp search.Response
+	engine.SearchInto(&resp, "outdoor barbecue", 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.SearchInto(&resp, "outdoor barbecue", 10)
 	}
 }

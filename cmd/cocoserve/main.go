@@ -6,10 +6,23 @@
 //
 //	GET  /stats
 //	GET  /search?q=outdoor+barbecue
+//	POST /search/batch      {"queries": ["outdoor barbecue", ...], "max_items": 12}
 //	GET  /concept?name=outdoor+barbecue
 //	GET  /recommend?items=1,2,3&k=10
+//	POST /recommend/batch   {"sessions": [[1,2,3], [4,5]], "k": 10}
 //	GET  /hypernyms?name=coat
 //	POST /reload
+//
+// The batch endpoints amortize one HTTP round-trip over a page of queries
+// (up to 256 per request): the whole batch is pinned to a single frozen
+// snapshot and fanned out across GOMAXPROCS workers. /search/batch answers
+// {"results": [SearchResult, ...]} and /recommend/batch answers
+// {"results": [{"Found": bool, "Reason": ..., "Card": ...}, ...]}, both in
+// request order.
+//
+// /stats reports the net shape plus a "snapshot" section: source, serving
+// generation, the snapshot file's checksum (when loaded from disk),
+// publish time, age, and serving node/edge counts.
 //
 // Usage: cocoserve [-addr :8080] [-scale small|default]
 //
@@ -18,18 +31,23 @@
 // With -snapshot, startup loads the frozen serving snapshot written by
 // `alicoco snapshot save` instead of rebuilding the net — cold start is
 // proportional to disk bandwidth. POST /reload re-reads the snapshot (or
-// re-freezes the live net when built without one) and hot-swaps it behind
-// the atomic serving pointer, so in-flight and concurrent queries keep
-// answering without downtime; -refresh does the same on a timer.
+// re-freezes the live net when built without one): the file's CRC-32 is
+// verified (along with every structural invariant) before anything is
+// swapped, so a corrupt or truncated snapshot leaves the current serving
+// state untouched. The swap itself is one atomic pointer store — in-flight
+// and concurrent queries keep answering without downtime; -refresh does
+// the same on a timer.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"alicoco"
@@ -38,6 +56,25 @@ import (
 // maxRecommendK caps the k parameter of /recommend so a single request
 // cannot ask for an unbounded result set.
 const maxRecommendK = 100
+
+// defaultSearchItems is the per-card item count of GET /search and the
+// default for batches; maxSearchItems caps what a batch may request.
+const (
+	defaultSearchItems = 12
+	maxSearchItems     = 100
+)
+
+// maxBatch caps how many queries or sessions one batch request may carry.
+const maxBatch = 256
+
+// maxBatchBody caps a batch request's body size before decoding, so the
+// maxBatch element cap cannot be sidestepped by one enormous JSON payload.
+const maxBatchBody = 1 << 20
+
+// maxPooledEncodeBuf is the largest response buffer worth keeping in the
+// codec pool; a rare huge batch response should not pin megabytes per
+// pool slot.
+const maxPooledEncodeBuf = 64 << 10
 
 type server struct {
 	coco *alicoco.CoCo
@@ -48,15 +85,75 @@ type server struct {
 	snapshot string
 }
 
+// jsonCodec is a pooled response encoder: the buffer and the encoder bound
+// to it are recycled across requests, so steady-state encoding reuses one
+// grown buffer instead of allocating per response.
+type jsonCodec struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var codecs = sync.Pool{New: func() any {
+	c := &jsonCodec{}
+	c.enc = json.NewEncoder(&c.buf)
+	return c
+}}
+
 func (s *server) writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	c := codecs.Get().(*jsonCodec)
+	defer func() {
+		if c.buf.Cap() <= maxPooledEncodeBuf {
+			codecs.Put(c)
+		}
+	}()
+	c.buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		// Nothing has been written yet, so the client gets a clean 500
+		// instead of a truncated body.
 		log.Printf("encode: %v", err)
+		http.Error(w, "encode failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(c.buf.Bytes()); err != nil {
+		log.Printf("write: %v", err)
+	}
+}
+
+// statsResponse is the /stats payload: the Table-2 net shape plus the
+// serving snapshot's operational metadata.
+type statsResponse struct {
+	alicoco.Stats
+	Snapshot snapshotInfo `json:"snapshot"`
+}
+
+type snapshotInfo struct {
+	Source      string  `json:"source"`             // build | snapshot | refreeze
+	Generation  uint64  `json:"generation"`         // serving publishes since startup
+	Checksum    string  `json:"checksum,omitempty"` // CRC-32 of the loaded snapshot file
+	File        string  `json:"file,omitempty"`     // -snapshot path, when serving from one
+	PublishedAt string  `json:"published_at"`       // RFC 3339
+	AgeSeconds  float64 `json:"age_seconds"`        // time since publish
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+}
+
+func (s *server) snapshotInfo() snapshotInfo {
+	info := s.coco.ServingInfo()
+	return snapshotInfo{
+		Source:      info.Source,
+		Generation:  info.Generation,
+		Checksum:    info.Checksum,
+		File:        s.snapshot,
+		PublishedAt: info.PublishedAt.UTC().Format(time.RFC3339),
+		AgeSeconds:  time.Since(info.PublishedAt).Seconds(),
+		Nodes:       info.Nodes,
+		Edges:       info.Edges,
 	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, s.coco.Stats())
+	s.writeJSON(w, statsResponse{Stats: s.coco.Stats(), Snapshot: s.snapshotInfo()})
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -65,7 +162,46 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	s.writeJSON(w, s.coco.Search(q, 12))
+	s.writeJSON(w, s.coco.Search(q, defaultSearchItems))
+}
+
+// handleSearchBatch fans a page of queries across workers against one
+// pinned snapshot: POST {"queries": [...], "max_items": 12} answers
+// {"results": [...]} in request order.
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Queries  []string `json:"queries"`
+		MaxItems int      `json:"max_items"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "missing queries", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > maxBatch {
+		http.Error(w, "too many queries (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
+		return
+	}
+	for _, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			http.Error(w, "empty query in batch", http.StatusBadRequest)
+			return
+		}
+	}
+	maxItems := req.MaxItems
+	if maxItems <= 0 {
+		maxItems = defaultSearchItems
+	} else if maxItems > maxSearchItems {
+		maxItems = maxSearchItems
+	}
+	s.writeJSON(w, map[string]any{"results": s.coco.SearchBatch(req.Queries, maxItems)})
 }
 
 func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
@@ -116,14 +252,58 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, rec)
 }
 
+// handleRecommendBatch recommends for a page of sessions against one
+// pinned snapshot: POST {"sessions": [[1,2],[3]], "k": 10} answers
+// {"results": [{"Found": ...}, ...]} in request order (sessions with no
+// recommendation report Found: false instead of failing the batch).
+func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Sessions [][]int `json:"sessions"`
+		K        int     `json:"k"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Sessions) == 0 {
+		http.Error(w, "missing sessions", http.StatusBadRequest)
+		return
+	}
+	if len(req.Sessions) > maxBatch {
+		http.Error(w, "too many sessions (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
+		return
+	}
+	for _, sess := range req.Sessions {
+		for _, id := range sess {
+			if id < 0 {
+				http.Error(w, "negative item id in batch", http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	} else if k > maxRecommendK {
+		k = maxRecommendK
+	}
+	s.writeJSON(w, map[string]any{"results": s.coco.RecommendBatch(req.Sessions, k)})
+}
+
 func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	s.writeJSON(w, map[string]any{"name": name, "hypernyms": s.coco.Hypernyms(name)})
 }
 
 // handleReload swaps in a fresh serving snapshot: re-read from the snapshot
-// file when one was configured, otherwise a re-freeze of the live net.
-// Queries keep serving the old snapshot throughout; the swap itself is one
+// file when one was configured, otherwise a re-freeze of the live net. The
+// loader verifies the file's checksum and structure before anything is
+// published, so a bad snapshot cannot displace the serving state; queries
+// keep serving the old snapshot throughout, and the swap itself is one
 // atomic pointer store.
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -135,12 +315,10 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	nodes, edges := s.servingCounts()
 	s.writeJSON(w, map[string]any{
-		"status": "reloaded",
-		"source": source,
-		"nodes":  nodes,
-		"edges":  edges,
+		"status":   "reloaded",
+		"source":   source,
+		"snapshot": s.snapshotInfo(),
 	})
 }
 
@@ -151,19 +329,14 @@ func (s *server) reload() (source string, err error) {
 	return "refreeze", s.coco.Refreeze()
 }
 
-// servingCounts reads node/edge counts from the published serving
-// snapshot (not Internal().Frozen, which a concurrent refreeze mutates).
-func (s *server) servingCounts() (nodes, edges int) {
-	st := s.coco.Stats()
-	return st.Classes + st.Primitives + st.EConcepts + st.Items, st.Relations
-}
-
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("/concept", s.handleConcept)
 	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
 	mux.HandleFunc("/hypernyms", s.handleHypernyms)
 	mux.HandleFunc("/reload", s.handleReload)
 	return mux
@@ -198,8 +371,8 @@ func main() {
 	}
 	// Every handler reads the published frozen snapshot lock-free, so
 	// request handling never contends with anything — including reloads.
-	frozen := coco.Internal().Frozen
-	log.Printf("serving from frozen snapshot: %d nodes, %d edges", frozen.NumNodes(), frozen.NumEdges())
+	info := coco.ServingInfo()
+	log.Printf("serving from frozen snapshot: %d nodes, %d edges (source %s)", info.Nodes, info.Edges, info.Source)
 	s := &server{coco: coco, snapshot: *snapshot}
 	if *refresh > 0 {
 		go func() {
@@ -207,8 +380,8 @@ func main() {
 				if src, err := s.reload(); err != nil {
 					log.Printf("periodic reload: %v", err)
 				} else {
-					nodes, edges := s.servingCounts()
-					log.Printf("periodic reload from %s: %d nodes, %d edges", src, nodes, edges)
+					info := coco.ServingInfo()
+					log.Printf("periodic reload from %s: %d nodes, %d edges", src, info.Nodes, info.Edges)
 				}
 			}
 		}()

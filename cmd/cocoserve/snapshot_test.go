@@ -66,7 +66,6 @@ func TestSnapshotServesIdenticalAnswers(t *testing.T) {
 	built, loaded, _ := snapshotFixture(t)
 
 	urls := []string{
-		"/stats",
 		"/search?q=outdoor+barbecue",
 		"/search?q=winter+coat",
 		"/concept?name=outdoor+barbecue",
@@ -90,6 +89,96 @@ func TestSnapshotServesIdenticalAnswers(t *testing.T) {
 		if bBody != lBody {
 			t.Fatalf("%s: answers differ\nbuilt:    %s\nsnapshot: %s", url, bBody, lBody)
 		}
+	}
+	// /stats carries per-server snapshot metadata (source, checksum, age),
+	// so only the net-shape portion must match byte-for-byte semantics.
+	var bStats, lStats alicoco.Stats
+	if _, body := get(built, "/stats"); json.Unmarshal([]byte(body), &bStats) != nil {
+		t.Fatal("bad built stats")
+	}
+	if _, body := get(loaded, "/stats"); json.Unmarshal([]byte(body), &lStats) != nil {
+		t.Fatal("bad loaded stats")
+	}
+	if bStats.Relations != lStats.Relations || bStats.Items != lStats.Items ||
+		bStats.EConcepts != lStats.EConcepts || bStats.Primitives != lStats.Primitives {
+		t.Fatalf("net stats differ:\nbuilt    %+v\nsnapshot %+v", bStats, lStats)
+	}
+}
+
+// TestStatsSnapshotSection checks the operational metadata /stats now
+// exposes: a built server reports source "build" with no checksum, a
+// snapshot-loaded one reports source "snapshot" with the file's CRC-32,
+// and both report serving counts and a sane age.
+func TestStatsSnapshotSection(t *testing.T) {
+	built, loaded, path := snapshotFixture(t)
+	type statsResp struct {
+		Snapshot snapshotInfo `json:"snapshot"`
+	}
+	var b, l statsResp
+	if _, body := get(built, "/stats"); json.Unmarshal([]byte(body), &b) != nil {
+		t.Fatal("bad built stats")
+	}
+	if _, body := get(loaded, "/stats"); json.Unmarshal([]byte(body), &l) != nil {
+		t.Fatal("bad loaded stats")
+	}
+	if b.Snapshot.Source != "build" || b.Snapshot.Checksum != "" || b.Snapshot.File != "" {
+		t.Fatalf("built snapshot section: %+v", b.Snapshot)
+	}
+	if l.Snapshot.Source != "snapshot" || l.Snapshot.Checksum == "" || l.Snapshot.File != path {
+		t.Fatalf("loaded snapshot section: %+v", l.Snapshot)
+	}
+	for _, sn := range []snapshotInfo{b.Snapshot, l.Snapshot} {
+		if sn.Nodes == 0 || sn.Edges == 0 || sn.Generation == 0 {
+			t.Fatalf("empty serving counts: %+v", sn)
+		}
+		if sn.AgeSeconds < 0 || sn.PublishedAt == "" {
+			t.Fatalf("bad publish age: %+v", sn)
+		}
+	}
+	if b.Snapshot.Nodes != l.Snapshot.Nodes || b.Snapshot.Edges != l.Snapshot.Edges {
+		t.Fatal("built and loaded servers should serve the same net shape")
+	}
+}
+
+// TestReloadRejectsCorruptSnapshot is the checksum-verification guard: a
+// reload pointed at a corrupted snapshot file must fail without touching
+// the serving state, and the generation must not advance.
+func TestReloadRejectsCorruptSnapshot(t *testing.T) {
+	built := testServer(t)
+	path := filepath.Join(t.TempDir(), "net.fz")
+	if err := built.coco.SaveFrozen(path); err != nil {
+		t.Fatal(err)
+	}
+	coco, err := alicoco.LoadFrozen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coco: coco, snapshot: path}
+	wantCode, wantSearch := get(s, "/search?q=outdoor+barbecue")
+	genBefore := coco.ServingInfo().Generation
+
+	// Flip one byte in the middle of the file: the CRC-32 check (or a
+	// structural validation before it) must reject the load.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/reload", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload: status %d, want 500 (%s)", rec.Code, rec.Body.String())
+	}
+	if got := coco.ServingInfo().Generation; got != genBefore {
+		t.Fatalf("corrupt reload advanced generation %d -> %d", genBefore, got)
+	}
+	// Serving is untouched: the same query still answers identically.
+	code, body := get(s, "/search?q=outdoor+barbecue")
+	if code != wantCode || body != wantSearch {
+		t.Fatal("serving state changed after rejected reload")
 	}
 }
 
@@ -138,15 +227,14 @@ func TestReloadHotSwapUnderLoad(t *testing.T) {
 			break
 		}
 		var resp struct {
-			Status string `json:"status"`
-			Nodes  int    `json:"nodes"`
-			Edges  int    `json:"edges"`
+			Status   string       `json:"status"`
+			Snapshot snapshotInfo `json:"snapshot"`
 		}
 		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 			t.Errorf("reload %d: bad response: %v", i, err)
 			break
 		}
-		if resp.Status != "reloaded" || resp.Nodes == 0 || resp.Edges == 0 {
+		if resp.Status != "reloaded" || resp.Snapshot.Nodes == 0 || resp.Snapshot.Edges == 0 || resp.Snapshot.Checksum == "" {
 			t.Errorf("reload %d: unexpected response %+v", i, resp)
 			break
 		}

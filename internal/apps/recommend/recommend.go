@@ -5,29 +5,71 @@ package recommend
 
 import (
 	"sort"
+	"sync"
 
 	"alicoco/internal/core"
 	"alicoco/internal/par"
+	"alicoco/internal/topk"
 )
 
 // Recommendation is a Figure 2(b/c) card: a concept, the reason string shown
-// to the user, and the recommended items.
+// to the user, and the recommended items. A Recommendation can be reused
+// across sessions via RecommendInto, which recycles the Items backing array.
 type Recommendation struct {
 	Concept core.NodeID
 	Reason  string
 	Items   []core.NodeID
 }
 
+// scratch is the per-request working memory of one Recommend call, recycled
+// through a sync.Pool so steady-state sessions reuse the vote map, the
+// viewed-set, and the ranking heap instead of allocating their own.
+type scratch struct {
+	votes map[core.NodeID]float64 // concept -> accumulated edge weight
+	seen  map[core.NodeID]bool    // viewed items, excluded from results
+	heap  topk.Heap
+}
+
 // Engine recommends via the concept net. It reads through core.Reader, so
 // production serving runs on a frozen snapshot with lock-free lookups and
 // pre-sorted item postings; Engine methods are safe for concurrent use when
-// the reader is.
+// the reader is — concurrent calls each draw their own pooled scratch.
 type Engine struct {
 	net core.Reader
+	// reasons precomputes the "for <concept>" reason string of every
+	// e-commerce concept known at construction, so serving a session
+	// builds no strings. Concepts added to a live net afterwards fall
+	// back to concatenating (the serving configuration rebuilds the
+	// engine on every published snapshot, so the map is always complete
+	// there).
+	reasons map[core.NodeID]string
+	pool    sync.Pool // *scratch
 }
 
 // NewEngine wraps a net (live or frozen).
-func NewEngine(net core.Reader) *Engine { return &Engine{net: net} }
+func NewEngine(net core.Reader) *Engine {
+	e := &Engine{net: net, reasons: make(map[core.NodeID]string)}
+	for _, id := range net.NodesOfKind(core.KindEConcept) {
+		nd, _ := net.Node(id)
+		e.reasons[id] = "for " + nd.Name
+	}
+	e.pool.New = func() any {
+		return &scratch{
+			votes: make(map[core.NodeID]float64),
+			seen:  make(map[core.NodeID]bool),
+		}
+	}
+	return e
+}
+
+// reasonFor returns the recommendation reason for a concept.
+func (e *Engine) reasonFor(concept core.NodeID) string {
+	if r, ok := e.reasons[concept]; ok {
+		return r
+	}
+	nd, _ := e.net.Node(concept)
+	return "for " + nd.Name
+}
 
 // Recommend infers the user's latent shopping scenario from viewed items
 // (each viewed item votes for the e-commerce concepts it serves), then
@@ -37,70 +79,75 @@ func (e *Engine) Recommend(viewed []core.NodeID, k int) (Recommendation, bool) {
 	return e.RecommendRanked(viewed, k, nil)
 }
 
+// RecommendInto is Recommend writing into a caller-owned Recommendation,
+// recycling its Items backing array across sessions.
+func (e *Engine) RecommendInto(rec *Recommendation, viewed []core.NodeID, k int) bool {
+	return e.recommendRanked(rec, viewed, k, nil)
+}
+
 // RecommendRanked is Recommend with an item-scoring model applied inside the
 // concept's candidate set — the paper's production split of concept recall
 // followed by ranking ("recommends items with highest weights after scoring
 // with a ranking model", Section 1). score may be nil (edge-weight order).
 func (e *Engine) RecommendRanked(viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) (Recommendation, bool) {
-	votes := make(map[core.NodeID]float64)
+	var rec Recommendation
+	ok := e.recommendRanked(&rec, viewed, k, score)
+	return rec, ok
+}
+
+func (e *Engine) recommendRanked(rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) bool {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	rec.Concept = core.InvalidNode
+	rec.Reason = ""
+	rec.Items = rec.Items[:0]
+
+	clear(sc.votes)
 	for _, item := range viewed {
 		for _, he := range e.net.EConceptsForItem(item, 0) {
-			votes[he.Peer] += he.Weight
+			sc.votes[he.Peer] += he.Weight
 		}
 	}
-	if len(votes) == 0 {
-		return Recommendation{}, false
+	if len(sc.votes) == 0 {
+		return false
 	}
-	type scored struct {
-		id core.NodeID
-		v  float64
+	// Top-1 selection through the bounded heap: O(concepts) with the same
+	// (weight desc, id asc) order the full sort produced.
+	sc.heap.Reset(1)
+	for id, v := range sc.votes {
+		sc.heap.Push(id, v)
 	}
-	ranked := make([]scored, 0, len(votes))
-	for id, v := range votes {
-		ranked = append(ranked, scored{id, v})
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].v != ranked[j].v {
-			return ranked[i].v > ranked[j].v
-		}
-		return ranked[i].id < ranked[j].id
-	})
-	best := ranked[0].id
-	nd, _ := e.net.Node(best)
-	rec := Recommendation{Concept: best, Reason: "for " + nd.Name}
-	seen := make(map[core.NodeID]bool, len(viewed))
+	best := sc.heap.Descending()[0].ID
+	rec.Concept = best
+	rec.Reason = e.reasonFor(best)
+	clear(sc.seen)
 	for _, v := range viewed {
-		seen[v] = true
+		sc.seen[v] = true
 	}
 	candidates := e.net.ItemsForEConcept(best, 0)
 	if score != nil {
-		type cand struct {
-			id core.NodeID
-			s  float64
+		// Score-ranked selection: a k-bounded heap does O(n log k) work
+		// instead of sorting every unseen candidate. k <= 0 still yields
+		// the single best candidate, as the sorted path always did.
+		if k < 1 {
+			k = 1
 		}
-		cs := make([]cand, 0, len(candidates))
+		sc.heap.Reset(k)
 		for _, he := range candidates {
-			if seen[he.Peer] {
+			if sc.seen[he.Peer] {
 				continue
 			}
-			cs = append(cs, cand{he.Peer, score(viewed, he.Peer)})
+			sc.heap.Push(he.Peer, score(viewed, he.Peer))
 		}
-		sort.Slice(cs, func(i, j int) bool {
-			if cs[i].s != cs[j].s {
-				return cs[i].s > cs[j].s
-			}
-			return cs[i].id < cs[j].id
-		})
-		for _, c := range cs {
-			rec.Items = append(rec.Items, c.id)
-			if len(rec.Items) >= k {
-				break
-			}
+		for _, ent := range sc.heap.Descending() {
+			rec.Items = append(rec.Items, ent.ID)
 		}
-		return rec, len(rec.Items) > 0
+		return len(rec.Items) > 0
 	}
+	// Edge-weight order: postings are pre-sorted (at freeze time on the
+	// serving store), so the first k unseen candidates are the answer.
 	for _, he := range candidates {
-		if seen[he.Peer] {
+		if sc.seen[he.Peer] {
 			continue
 		}
 		rec.Items = append(rec.Items, he.Peer)
@@ -108,7 +155,7 @@ func (e *Engine) RecommendRanked(viewed []core.NodeID, k int, score func(viewed 
 			break
 		}
 	}
-	return rec, len(rec.Items) > 0
+	return len(rec.Items) > 0
 }
 
 // CoViewScore builds a ranking function from co-view statistics, for use

@@ -1,0 +1,183 @@
+package recommend
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"alicoco/internal/core"
+	"alicoco/internal/pipeline"
+	"alicoco/internal/raceflag"
+)
+
+func scratchArts(t *testing.T) *pipeline.Artifacts {
+	t.Helper()
+	a, err := pipeline.Build(pipeline.TinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randomSessions(a *pipeline.Artifacts, rng *rand.Rand, n int) [][]core.NodeID {
+	items := a.Frozen.NodesOfKind(core.KindItem)
+	out := make([][]core.NodeID, n)
+	for i := range out {
+		sess := make([]core.NodeID, 1+rng.Intn(6))
+		for j := range sess {
+			sess[j] = items[rng.Intn(len(items))]
+		}
+		out[i] = sess
+	}
+	return out
+}
+
+func recsEqual(a, b Recommendation) bool {
+	if a.Concept != b.Concept || a.Reason != b.Reason || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refRankedItems is the pre-heap specification of the score path: sort all
+// unseen candidates by (score desc, id asc), take k.
+func refRankedItems(net core.Reader, best core.NodeID, viewed []core.NodeID, k int, score func([]core.NodeID, core.NodeID) float64) []core.NodeID {
+	seen := make(map[core.NodeID]bool)
+	for _, v := range viewed {
+		seen[v] = true
+	}
+	type cand struct {
+		id core.NodeID
+		s  float64
+	}
+	var cs []cand
+	for _, he := range net.ItemsForEConcept(best, 0) {
+		if !seen[he.Peer] {
+			cs = append(cs, cand{he.Peer, score(viewed, he.Peer)})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].s != cs[j].s {
+			return cs[i].s > cs[j].s
+		}
+		return cs[i].id < cs[j].id
+	})
+	var out []core.NodeID
+	for _, c := range cs {
+		out = append(out, c.id)
+		if len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// TestRecommendIntoReusedMatchesFresh replays randomized sessions through
+// one reused Recommendation and checks every answer against a fresh
+// Recommend call.
+func TestRecommendIntoReusedMatchesFresh(t *testing.T) {
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	rng := rand.New(rand.NewSource(11))
+	var reused Recommendation
+	for _, sess := range randomSessions(a, rng, 300) {
+		k := 1 + rng.Intn(8)
+		gotOK := e.RecommendInto(&reused, sess, k)
+		fresh, wantOK := e.Recommend(sess, k)
+		if gotOK != wantOK {
+			t.Fatalf("session %v: ok %v vs %v", sess, gotOK, wantOK)
+		}
+		if gotOK && !recsEqual(reused, fresh) {
+			t.Fatalf("session %v: reused %+v differs from fresh %+v", sess, reused, fresh)
+		}
+	}
+}
+
+// TestRecommendRankedHeapMatchesSort proves the k-bounded heap in the
+// scoring path selects exactly what the full sort used to.
+func TestRecommendRankedHeapMatchesSort(t *testing.T) {
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	rng := rand.New(rand.NewSource(13))
+	// A deliberately collision-heavy score so ID tie-breaks are exercised.
+	score := func(viewed []core.NodeID, item core.NodeID) float64 {
+		return float64((int(item) + len(viewed)) % 4)
+	}
+	for _, sess := range randomSessions(a, rng, 200) {
+		k := 1 + rng.Intn(6)
+		rec, ok := e.RecommendRanked(sess, k, score)
+		if !ok {
+			continue
+		}
+		want := refRankedItems(a.Frozen, rec.Concept, sess, k, score)
+		if len(rec.Items) != len(want) {
+			t.Fatalf("session %v k=%d: %d items, want %d", sess, k, len(rec.Items), len(want))
+		}
+		for i := range want {
+			if rec.Items[i] != want[i] {
+				t.Fatalf("session %v k=%d: rank %d item %d, want %d", sess, k, i, rec.Items[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRecommendConcurrent hammers the pooled scratch path under -race.
+func TestRecommendConcurrent(t *testing.T) {
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	rng := rand.New(rand.NewSource(17))
+	sessions := randomSessions(a, rng, 16)
+	want := make([]Recommendation, len(sessions))
+	okWant := make([]bool, len(sessions))
+	for i, s := range sessions {
+		want[i], okWant[i] = e.Recommend(s, 5)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var rec Recommendation
+			for i := 0; i < 150; i++ {
+				si := (g + i) % len(sessions)
+				ok := e.RecommendInto(&rec, sessions[si], 5)
+				if ok != okWant[si] || (ok && !recsEqual(rec, want[si])) {
+					t.Errorf("goroutine %d: answer for session %d drifted", g, si)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRecommendIntoZeroAllocs guards the recommend leg of the
+// zero-allocation serving path: a reused Recommendation served from a
+// frozen snapshot allocates nothing per session.
+func TestRecommendIntoZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation guards are not meaningful under -race (sync.Pool drops items)")
+	}
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	rng := rand.New(rand.NewSource(29))
+	sessions := randomSessions(a, rng, 8)
+	var rec Recommendation
+	for _, s := range sessions { // warm pooled scratch and Items buffer
+		e.RecommendInto(&rec, s, 10)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, s := range sessions {
+			e.RecommendInto(&rec, s, 10)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RecommendInto allocates %.1f times per run, want 0", allocs)
+	}
+}

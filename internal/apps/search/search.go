@@ -5,11 +5,13 @@
 package search
 
 import (
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"alicoco/internal/core"
 	"alicoco/internal/text"
+	"alicoco/internal/topk"
 )
 
 // ConceptCard is the Figure 2 card: a concept with its associated items.
@@ -20,29 +22,61 @@ type ConceptCard struct {
 }
 
 // Response is a search result: zero or more concept cards plus plain item
-// hits.
+// hits. A Response can be reused across queries via SearchInto, which
+// recycles the Cards/Items backing arrays — the zero-allocation serving
+// configuration.
 type Response struct {
 	Cards []ConceptCard
 	Items []core.NodeID
+}
+
+// maxVotedCards bounds how many primitive-voted concept cards one query can
+// trigger; the ranking keeps only this many concepts, so voting is
+// O(concepts·log maxVotedCards) with no full sort.
+const maxVotedCards = 3
+
+// scratch is the per-request working memory of one Search call. Engines
+// recycle scratches through a sync.Pool, so steady-state queries reuse the
+// token buffer, the name-join buffer, the vote map, and the top-k heap of
+// an earlier request instead of allocating their own.
+type scratch struct {
+	tokens []string
+	name   []byte               // space-joined tokens, the exact-match key
+	prims  []core.NodeID        // matched primitive concepts
+	votes  map[core.NodeID]int  // concept -> primitive votes
+	seen   map[core.NodeID]bool // item dedup for plain hits
+	heap   topk.Heap
 }
 
 // Engine answers queries against a net. It holds a core.Reader, so it can
 // serve either a live *core.Net or — the production configuration — an
 // immutable *core.FrozenNet snapshot, whose reads are lock-free and
 // allocation-free. All Engine methods are safe for concurrent use when the
-// reader is.
+// reader is; concurrent Search calls each draw their own pooled scratch.
 type Engine struct {
 	net       core.Reader
 	seg       *text.Segmenter
 	stopwords map[string]bool
+	pool      sync.Pool // *scratch
 }
 
-// NewEngine indexes the net's primitive and e-commerce concept surfaces.
-func NewEngine(net core.Reader, stopwords []string) *Engine {
+func newEngine(net core.Reader, stopwords []string) *Engine {
 	e := &Engine{net: net, seg: text.NewSegmenter(), stopwords: make(map[string]bool)}
 	for _, w := range stopwords {
 		e.stopwords[w] = true
 	}
+	e.pool.New = func() any {
+		return &scratch{
+			votes: make(map[core.NodeID]int),
+			seen:  make(map[core.NodeID]bool),
+		}
+	}
+	return e
+}
+
+// NewEngine indexes the net's primitive and e-commerce concept surfaces.
+func NewEngine(net core.Reader, stopwords []string) *Engine {
+	e := newEngine(net, stopwords)
 	for _, id := range net.NodesOfKind(core.KindPrimitive) {
 		nd, _ := net.Node(id)
 		e.seg.AddPhrase(strings.Fields(nd.Name), "prim")
@@ -56,89 +90,119 @@ func NewEngine(net core.Reader, stopwords []string) *Engine {
 
 // Search resolves a query to concept cards and items: an exact e-commerce
 // concept match triggers its card (the "baking" flow of Figure 2a);
-// otherwise matched primitives vote for the concepts they interpret.
+// otherwise matched primitives vote for the concepts they interpret. The
+// returned Response owns fresh slices; hot callers should reuse a Response
+// through SearchInto instead.
 func (e *Engine) Search(query string, maxItems int) Response {
-	tokens := text.Tokenize(query)
 	var resp Response
+	e.SearchInto(&resp, query, maxItems)
+	return resp
+}
 
-	// 1. Exact e-commerce concept match.
-	if ids := e.net.FindByNameKind(strings.Join(tokens, " "), core.KindEConcept); len(ids) > 0 {
-		resp.Cards = append(resp.Cards, e.card(ids[0], maxItems))
-		return resp
+// SearchInto is Search writing into a caller-owned Response, recycling its
+// backing arrays. On the exact-match path — a normalized query naming an
+// e-commerce concept, answered from a frozen snapshot — a reused Response
+// makes the whole call allocation-free: pooled scratch, zero-copy postings,
+// recycled card storage.
+func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	resp.Cards = resp.Cards[:0]
+	resp.Items = resp.Items[:0]
+
+	sc.tokens = text.AppendTokens(sc.tokens[:0], query)
+
+	// 1. Exact e-commerce concept match, keyed through the reused join
+	// buffer so no query string is materialized.
+	sc.name = appendJoin(sc.name[:0], sc.tokens)
+	if id := e.net.FirstByNameKindBytes(sc.name, core.KindEConcept); id != core.InvalidNode {
+		e.appendCard(resp, id, maxItems)
+		return
 	}
 
 	// 2. Primitive-concept voting: concepts interpreted by the most
-	// matched primitives win.
-	matched := e.matchPrimitives(tokens)
-	votes := make(map[core.NodeID]int)
-	for _, prim := range matched {
+	// matched primitives win. The bounded heap keeps the maxVotedCards
+	// best (votes desc, id asc — the order the full sort used) without
+	// ranking every candidate.
+	sc.prims = e.appendMatchPrimitives(sc.prims[:0], sc.tokens)
+	clear(sc.votes)
+	for _, prim := range sc.prims {
 		for _, he := range e.net.In(prim, core.EdgeInterpretedBy) {
-			votes[he.Peer]++
+			sc.votes[he.Peer]++
 		}
 	}
-	type scored struct {
-		id    core.NodeID
-		votes int
+	sc.heap.Reset(maxVotedCards)
+	for id, v := range sc.votes {
+		sc.heap.Push(id, float64(v))
 	}
-	var ranked []scored
-	for id, v := range votes {
-		ranked = append(ranked, scored{id, v})
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].votes != ranked[j].votes {
-			return ranked[i].votes > ranked[j].votes
-		}
-		return ranked[i].id < ranked[j].id
-	})
-	for i := 0; i < len(ranked) && i < 3; i++ {
-		if ranked[i].votes*2 >= len(matched) { // at least half the query matched
-			resp.Cards = append(resp.Cards, e.card(ranked[i].id, maxItems))
+	for _, ent := range sc.heap.Descending() {
+		if int(ent.Score)*2 >= len(sc.prims) { // at least half the query matched
+			e.appendCard(resp, ent.ID, maxItems)
 		}
 	}
 
 	// 3. Plain item hits from matched primitives (CPV-style retrieval).
 	// maxItems caps the total across all matched primitives (maxItems <= 0
 	// means unlimited), so the cap check must leave both loops.
-	seen := make(map[core.NodeID]bool)
+	clear(sc.seen)
 collect:
-	for _, prim := range matched {
+	for _, prim := range sc.prims {
 		for _, he := range e.net.In(prim, core.EdgeItemPrimitive) {
 			if maxItems > 0 && len(resp.Items) >= maxItems {
 				break collect
 			}
-			if !seen[he.Peer] {
-				seen[he.Peer] = true
+			if !sc.seen[he.Peer] {
+				sc.seen[he.Peer] = true
 				resp.Items = append(resp.Items, he.Peer)
 			}
 		}
 	}
-	sort.Slice(resp.Items, func(i, j int) bool { return resp.Items[i] < resp.Items[j] })
-	return resp
+	slices.Sort(resp.Items) // unlike sort.Slice, allocation-free
 }
 
-func (e *Engine) card(concept core.NodeID, maxItems int) ConceptCard {
+// appendJoin writes the tokens space-separated into dst.
+func appendJoin(dst []byte, tokens []string) []byte {
+	for i, tok := range tokens {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, tok...)
+	}
+	return dst
+}
+
+// appendCard appends the concept's card to resp, reviving the Items backing
+// array of a card previously stored in the same slot when the Response is
+// being reused.
+func (e *Engine) appendCard(resp *Response, concept core.NodeID, maxItems int) {
+	if cap(resp.Cards) > len(resp.Cards) {
+		resp.Cards = resp.Cards[:len(resp.Cards)+1]
+	} else {
+		resp.Cards = append(resp.Cards, ConceptCard{})
+	}
+	card := &resp.Cards[len(resp.Cards)-1]
 	nd, _ := e.net.Node(concept)
-	card := ConceptCard{Concept: concept, Name: nd.Name}
+	card.Concept = concept
+	card.Name = nd.Name
+	card.Items = card.Items[:0]
 	for _, he := range e.net.ItemsForEConcept(concept, maxItems) {
 		card.Items = append(card.Items, he.Peer)
 	}
-	return card
 }
 
-// matchPrimitives max-matches the query against primitive surfaces.
-func (e *Engine) matchPrimitives(tokens []string) []core.NodeID {
-	var out []core.NodeID
+// appendMatchPrimitives max-matches the query against primitive surfaces.
+func (e *Engine) appendMatchPrimitives(dst []core.NodeID, tokens []string) []core.NodeID {
 	for _, seg := range e.seg.MaxMatch(tokens) {
 		if len(seg.Labels) == 0 {
 			continue
 		}
 		surface := strings.Join(tokens[seg.Start:seg.End], " ")
 		for _, id := range e.net.FindByNameKind(surface, core.KindPrimitive) {
-			out = append(out, id)
+			dst = append(dst, id)
 			break // first reading is enough for retrieval
 		}
 	}
-	return out
+	return dst
 }
 
 // Covered reports whether every non-stopword token of the query is part of
@@ -167,10 +231,7 @@ func NewCPVEngine(net core.Reader, stopwords []string) *Engine {
 		"Design": true, "Function": true, "Pattern": true, "Shape": true,
 		"Smell": true, "Taste": true, "Style": true, "Quantity": true,
 	}
-	e := &Engine{net: net, seg: text.NewSegmenter(), stopwords: make(map[string]bool)}
-	for _, w := range stopwords {
-		e.stopwords[w] = true
-	}
+	e := newEngine(net, stopwords)
 	for _, id := range net.NodesOfKind(core.KindPrimitive) {
 		nd, _ := net.Node(id)
 		if cpvDomains[nd.Domain] {

@@ -24,8 +24,18 @@ type FrozenNet struct {
 	in     csr
 	edges  int
 
+	// checksum is the CRC-32 recorded while loading a persisted snapshot
+	// (see persist_frozen.go); 0 for snapshots frozen from a live net.
+	checksum uint32
+
 	visit sync.Pool // *visitState, reused across traversals
 }
+
+// Checksum returns the CRC-32 of the snapshot file this net was loaded
+// from, or 0 when the net was frozen in-process rather than loaded. Serving
+// surfaces expose it so operators can match the running snapshot against
+// the artifact that produced it.
+func (f *FrozenNet) Checksum() uint32 { return f.checksum }
 
 // csr is compressed-sparse-row adjacency grouped by edge kind: the edges of
 // node id with kind k live in edges[off[id*numEdgeKinds+k] :
@@ -133,18 +143,34 @@ func (f *FrozenNet) FindByName(name string) []NodeID { return f.byName[name] }
 
 // FindByNameKind returns nodes with the given name in one layer.
 func (f *FrozenNet) FindByNameKind(name string, kind NodeKind) []NodeID {
-	var out []NodeID
+	return f.AppendFindByNameKind(nil, name, kind)
+}
+
+// AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
+func (f *FrozenNet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID {
 	for _, id := range f.byName[name] {
 		if f.nodes[id].Kind == kind {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // FirstByNameKind returns the first matching node or InvalidNode.
 func (f *FrozenNet) FirstByNameKind(name string, kind NodeKind) NodeID {
 	for _, id := range f.byName[name] {
+		if f.nodes[id].Kind == kind {
+			return id
+		}
+	}
+	return InvalidNode
+}
+
+// FirstByNameKindBytes is FirstByNameKind keyed by a byte buffer. The
+// map index with an inline string conversion compiles to an allocation-free
+// lookup, so hot callers can assemble the key in a reused buffer.
+func (f *FrozenNet) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
+	for _, id := range f.byName[string(name)] {
 		if f.nodes[id].Kind == kind {
 			return id
 		}
@@ -184,6 +210,11 @@ func (f *FrozenNet) ItemsForEConcept(id NodeID, limit int) []HalfEdge {
 	return items
 }
 
+// AppendItemsForEConcept is ItemsForEConcept into a caller-owned buffer.
+func (f *FrozenNet) AppendItemsForEConcept(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	return append(dst, f.ItemsForEConcept(id, limit)...)
+}
+
 // EConceptsForItem returns the e-commerce concepts an item serves,
 // best-weight first, up to limit (limit <= 0 means all).
 func (f *FrozenNet) EConceptsForItem(id NodeID, limit int) []HalfEdge {
@@ -192,6 +223,11 @@ func (f *FrozenNet) EConceptsForItem(id NodeID, limit int) []HalfEdge {
 		out = out[:limit]
 	}
 	return out
+}
+
+// AppendEConceptsForItem is EConceptsForItem into a caller-owned buffer.
+func (f *FrozenNet) AppendEConceptsForItem(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	return append(dst, f.EConceptsForItem(id, limit)...)
 }
 
 // PrimitivesForEConcept returns the primitive concepts interpreting an
@@ -229,17 +265,17 @@ func (v *visitState) next() {
 
 // traverse runs the isA/instanceOf BFS over one CSR direction. When target
 // is a valid node it stops early and reports reachability; otherwise it
-// appends visited ids (excluding start, BFS order) to a fresh result slice.
-func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID, collect bool) ([]NodeID, bool) {
+// appends visited ids (excluding start, BFS order) to dst. dst is returned
+// unchanged for invalid start ids.
+func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID, dst []NodeID, collect bool) ([]NodeID, bool) {
 	if start < 0 || int(start) >= len(f.nodes) {
-		return nil, false
+		return dst, false
 	}
 	v := f.visit.Get().(*visitState)
 	defer f.visit.Put(v)
 	v.next()
 	v.gen[start] = v.epoch
 	v.queue = append(v.queue, frontierEntry{start, 0})
-	var out []NodeID
 	n := len(f.nodes)
 	for qi := 0; qi < len(v.queue); qi++ {
 		cur := v.queue[qi]
@@ -253,30 +289,44 @@ func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID
 				}
 				v.gen[he.Peer] = v.epoch
 				if he.Peer == target {
-					return nil, true
+					return dst, true
 				}
 				if collect {
-					out = append(out, he.Peer)
+					dst = append(dst, he.Peer)
 				}
 				v.queue = append(v.queue, frontierEntry{he.Peer, cur.depth + 1})
 			}
 		}
 	}
-	return out, false
+	return dst, false
 }
 
 // Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
 // maxDepth levels (maxDepth <= 0 means unlimited) and returns the visited
 // ancestor IDs in traversal order, excluding id itself.
 func (f *FrozenNet) Ancestors(id NodeID, maxDepth int) []NodeID {
-	out, _ := f.traverse(&f.out, id, maxDepth, InvalidNode, true)
+	out, _ := f.traverse(&f.out, id, maxDepth, InvalidNode, nil, true)
 	return out
+}
+
+// AppendAncestors is Ancestors into a caller-owned buffer: the BFS runs on
+// the pooled visited array and writes straight into dst, so a caller that
+// recycles its buffer pays zero steady-state allocations.
+func (f *FrozenNet) AppendAncestors(dst []NodeID, id NodeID, maxDepth int) []NodeID {
+	dst, _ = f.traverse(&f.out, id, maxDepth, InvalidNode, dst, true)
+	return dst
 }
 
 // Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
 func (f *FrozenNet) Descendants(id NodeID, maxDepth int) []NodeID {
-	out, _ := f.traverse(&f.in, id, maxDepth, InvalidNode, true)
+	out, _ := f.traverse(&f.in, id, maxDepth, InvalidNode, nil, true)
 	return out
+}
+
+// AppendDescendants is Descendants into a caller-owned buffer.
+func (f *FrozenNet) AppendDescendants(dst []NodeID, id NodeID, maxDepth int) []NodeID {
+	dst, _ = f.traverse(&f.in, id, maxDepth, InvalidNode, dst, true)
+	return dst
 }
 
 // IsAncestor reports whether anc is reachable upward from id. It allocates
@@ -286,7 +336,7 @@ func (f *FrozenNet) IsAncestor(id, anc NodeID) bool {
 	if anc < 0 || int(anc) >= len(f.nodes) || id == anc {
 		return false
 	}
-	_, found := f.traverse(&f.out, id, 0, anc, false)
+	_, found := f.traverse(&f.out, id, 0, anc, nil, false)
 	return found
 }
 

@@ -203,60 +203,83 @@ func (n *Net) NumEdges() int {
 
 // FindByName returns all nodes with the given surface form — several when
 // the form is ambiguous (same name, different domains or layers), which is
-// how the net disambiguates raw text (Section 4.1).
+// how the net disambiguates raw text (Section 4.1). Like the frozen store,
+// it returns a shared read-only view rather than a copy: the ids recorded
+// for a name are append-only (AddNode never reorders or rewrites them), so
+// elements visible through the returned header never change even if a
+// concurrent AddNode grows the index.
 func (n *Net) FindByName(name string) []NodeID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return append([]NodeID(nil), n.byName[name]...)
+	return n.byName[name]
 }
 
 // FindByNameKind returns nodes with the given name in one layer.
 func (n *Net) FindByNameKind(name string, kind NodeKind) []NodeID {
+	return n.AppendFindByNameKind(nil, name, kind)
+}
+
+// AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
+func (n *Net) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	var out []NodeID
 	for _, id := range n.byName[name] {
 		if n.nodes[id].Kind == kind {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // FirstByNameKind returns the first matching node or InvalidNode.
 func (n *Net) FirstByNameKind(name string, kind NodeKind) NodeID {
-	ids := n.FindByNameKind(name, kind)
-	if len(ids) == 0 {
-		return InvalidNode
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, id := range n.byName[name] {
+		if n.nodes[id].Kind == kind {
+			return id
+		}
 	}
-	return ids[0]
+	return InvalidNode
+}
+
+// FirstByNameKindBytes is FirstByNameKind keyed by a byte buffer; the map
+// lookup converts the key without allocating.
+func (n *Net) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, id := range n.byName[string(name)] {
+		if n.nodes[id].Kind == kind {
+			return id
+		}
+	}
+	return InvalidNode
 }
 
 // Out returns outgoing half-edges of a kind (all kinds if kind < 0).
 func (n *Net) Out(id NodeID, kind EdgeKind) []HalfEdge {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return filterAdj(n.outAdj, id, kind, len(n.nodes))
+	return filterAdj(nil, n.outAdj, id, kind, len(n.nodes))
 }
 
 // In returns incoming half-edges of a kind (all kinds if kind < 0).
 func (n *Net) In(id NodeID, kind EdgeKind) []HalfEdge {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return filterAdj(n.inAdj, id, kind, len(n.nodes))
+	return filterAdj(nil, n.inAdj, id, kind, len(n.nodes))
 }
 
-func filterAdj(adj [][]HalfEdge, id NodeID, kind EdgeKind, n int) []HalfEdge {
+func filterAdj(dst []HalfEdge, adj [][]HalfEdge, id NodeID, kind EdgeKind, n int) []HalfEdge {
 	if id < 0 || int(id) >= n {
-		return nil
+		return dst
 	}
-	var out []HalfEdge
 	for _, he := range adj[id] {
 		if kind < 0 || he.Kind == kind {
-			out = append(out, he)
+			dst = append(dst, he)
 		}
 	}
-	return out
+	return dst
 }
 
 // Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
@@ -266,21 +289,31 @@ func filterAdj(adj [][]HalfEdge, id NodeID, kind EdgeKind, n int) []HalfEdge {
 // order the frozen snapshot's kind-grouped CSR yields — so live and frozen
 // traversals return identical sequences.
 func (n *Net) Ancestors(id NodeID, maxDepth int) []NodeID {
+	return n.AppendAncestors(nil, id, maxDepth)
+}
+
+// AppendAncestors is Ancestors into a caller-owned buffer.
+func (n *Net) AppendAncestors(dst []NodeID, id NodeID, maxDepth int) []NodeID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return bfsHierarchy(n.outAdj, id, maxDepth, len(n.nodes))
+	return bfsHierarchy(dst, n.outAdj, id, maxDepth, len(n.nodes))
 }
 
 // Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
 func (n *Net) Descendants(id NodeID, maxDepth int) []NodeID {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return bfsHierarchy(n.inAdj, id, maxDepth, len(n.nodes))
+	return n.AppendDescendants(nil, id, maxDepth)
 }
 
-func bfsHierarchy(adj [][]HalfEdge, id NodeID, maxDepth, n int) []NodeID {
+// AppendDescendants is Descendants into a caller-owned buffer.
+func (n *Net) AppendDescendants(dst []NodeID, id NodeID, maxDepth int) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return bfsHierarchy(dst, n.inAdj, id, maxDepth, len(n.nodes))
+}
+
+func bfsHierarchy(dst []NodeID, adj [][]HalfEdge, id NodeID, maxDepth, n int) []NodeID {
 	if id < 0 || int(id) >= n {
-		return nil
+		return dst
 	}
 	type qe struct {
 		id    NodeID
@@ -288,7 +321,7 @@ func bfsHierarchy(adj [][]HalfEdge, id NodeID, maxDepth, n int) []NodeID {
 	}
 	seen := map[NodeID]bool{id: true}
 	queue := []qe{{id, 0}}
-	var out []NodeID
+	out := dst
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -335,22 +368,40 @@ func (n *Net) NodesOfKind(kind NodeKind) []NodeID {
 // ItemsForEConcept returns items associated with an e-commerce concept,
 // best-weight first, up to limit (limit <= 0 means all).
 func (n *Net) ItemsForEConcept(id NodeID, limit int) []HalfEdge {
-	items := n.In(id, EdgeItemEConcept)
-	sortHalfEdgesByWeight(items)
-	if limit > 0 && len(items) > limit {
-		items = items[:limit]
-	}
-	return items
+	return n.AppendItemsForEConcept(nil, id, limit)
+}
+
+// AppendItemsForEConcept is ItemsForEConcept into a caller-owned buffer.
+func (n *Net) AppendItemsForEConcept(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	n.mu.RLock()
+	mark := len(dst)
+	dst = filterAdj(dst, n.inAdj, id, EdgeItemEConcept, len(n.nodes))
+	n.mu.RUnlock()
+	return sortTrimPostings(dst, mark, limit)
 }
 
 // EConceptsForItem returns the e-commerce concepts an item serves.
 func (n *Net) EConceptsForItem(id NodeID, limit int) []HalfEdge {
-	out := n.Out(id, EdgeItemEConcept)
-	sortHalfEdgesByWeight(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	return n.AppendEConceptsForItem(nil, id, limit)
+}
+
+// AppendEConceptsForItem is EConceptsForItem into a caller-owned buffer.
+func (n *Net) AppendEConceptsForItem(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	n.mu.RLock()
+	mark := len(dst)
+	dst = filterAdj(dst, n.outAdj, id, EdgeItemEConcept, len(n.nodes))
+	n.mu.RUnlock()
+	return sortTrimPostings(dst, mark, limit)
+}
+
+// sortTrimPostings weight-sorts the tail of dst appended after mark and
+// trims it to limit entries (limit <= 0 means all).
+func sortTrimPostings(dst []HalfEdge, mark, limit int) []HalfEdge {
+	sortHalfEdgesByWeight(dst[mark:])
+	if limit > 0 && len(dst)-mark > limit {
+		dst = dst[:mark+limit]
 	}
-	return out
+	return dst
 }
 
 // PrimitivesForEConcept returns the primitive concepts interpreting an

@@ -517,6 +517,7 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 	} else if stored != sum {
 		return nil, fmt.Errorf("core: load frozen: checksum mismatch (stored %08x, computed %08x)", stored, sum)
 	}
+	f.checksum = sum
 	nn := len(f.nodes)
 	f.visit.New = func() any {
 		return &visitState{gen: make([]uint32, nn)}

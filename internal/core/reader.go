@@ -46,6 +46,30 @@ type Reader interface {
 	// PrimitivesForEConcept returns the primitives interpreting an
 	// e-commerce concept.
 	PrimitivesForEConcept(id NodeID) []HalfEdge
+
+	// The Append variants below produce the same answers as their
+	// allocate-and-return counterparts but write into a caller-owned dst
+	// slice (appending after any existing elements, like the append
+	// builtin), so hot serving loops can reuse one buffer across requests
+	// instead of allocating per call. The appended elements are owned by
+	// the caller and stay valid after later net mutations.
+
+	// AppendAncestors is Ancestors into a caller-owned buffer.
+	AppendAncestors(dst []NodeID, id NodeID, maxDepth int) []NodeID
+	// AppendDescendants is Descendants into a caller-owned buffer.
+	AppendDescendants(dst []NodeID, id NodeID, maxDepth int) []NodeID
+	// AppendItemsForEConcept is ItemsForEConcept into a caller-owned buffer.
+	AppendItemsForEConcept(dst []HalfEdge, id NodeID, limit int) []HalfEdge
+	// AppendEConceptsForItem is EConceptsForItem into a caller-owned buffer.
+	AppendEConceptsForItem(dst []HalfEdge, id NodeID, limit int) []HalfEdge
+	// AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
+	AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID
+
+	// FirstByNameKindBytes is FirstByNameKind keyed by a caller-owned byte
+	// buffer. Both stores resolve it with a map[string] index lookup the
+	// compiler performs without converting (allocating) the key, so exact
+	// name resolution on the query hot path costs zero allocations.
+	FirstByNameKindBytes(name []byte, kind NodeKind) NodeID
 }
 
 var (

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"alicoco/internal/core"
+	"alicoco/internal/par"
 )
 
 // ImplicitRelation is an inferred (concept, primitive) link with its
@@ -135,11 +136,20 @@ func (m *Miner) InferConcept(concept core.NodeID) []ImplicitRelation {
 }
 
 // InferAll mines every e-commerce concept and returns relations grouped by
-// concept in node-id order.
+// concept in node-id order. Concepts are independent — mining is a pure
+// read of the (frozen) net plus the precomputed base rates — so the scan
+// fans out across GOMAXPROCS workers, each writing its concept's relations
+// into an index-addressed slot; the sequential ordered reduce keeps the
+// output byte-identical to the old single-threaded loop.
 func (m *Miner) InferAll() []ImplicitRelation {
+	concepts := m.net.NodesOfKind(core.KindEConcept)
+	slots := make([][]ImplicitRelation, len(concepts))
+	par.For(0, len(concepts), func(i int) {
+		slots[i] = m.InferConcept(concepts[i])
+	})
 	var out []ImplicitRelation
-	for _, c := range m.net.NodesOfKind(core.KindEConcept) {
-		out = append(out, m.InferConcept(c)...)
+	for _, rels := range slots {
+		out = append(out, rels...)
 	}
 	return out
 }

