@@ -27,8 +27,14 @@ import (
 	"alicoco/internal/inference"
 	"alicoco/internal/par"
 	"alicoco/internal/pipeline"
+	"alicoco/internal/qcache"
 	"alicoco/internal/world"
 )
+
+// DefaultQueryCacheCapacity is the per-cache entry budget (one cache for
+// search, one for recommendation) a Build- or LoadFrozen-constructed CoCo
+// starts with; SetQueryCacheCapacity adjusts it at runtime.
+const DefaultQueryCacheCapacity = 4096
 
 // Options sizes the net construction. Use Small or Default and tweak.
 type Options struct {
@@ -66,6 +72,23 @@ type CoCo struct {
 	offline    sync.Mutex // serializes offline mutation + republish cycles
 	serving    atomic.Pointer[servingState]
 	generation atomic.Uint64 // counts published serving snapshots
+
+	// The query caches outlive individual serving snapshots: every entry
+	// is stamped with the generation (and checksum) of the snapshot it was
+	// computed from, so publishing a new snapshot — reload, refreeze,
+	// inference — invalidates the whole cache for free (stale generations
+	// simply stop matching). One cache per engine keeps the /stats
+	// counters attributable.
+	searchCache *qcache.Cache
+	recCache    *qcache.Cache
+}
+
+// newCoCo returns an empty facade with its query caches allocated.
+func newCoCo() *CoCo {
+	return &CoCo{
+		searchCache: qcache.New(DefaultQueryCacheCapacity),
+		recCache:    qcache.New(DefaultQueryCacheCapacity),
+	}
 }
 
 // servingState bundles a frozen snapshot with the engines and item index
@@ -77,6 +100,7 @@ type servingState struct {
 	items      []Item               // world order, for deterministic listings
 	itemByNode map[core.NodeID]Item // net node -> facade item
 	itemNode   map[int]core.NodeID  // world item ID -> net node
+	stamp      qcache.Stamp         // generation+checksum cache stamp of this snapshot
 	info       ServingInfo
 }
 
@@ -112,7 +136,7 @@ func Build(opts Options) (*CoCo, error) {
 	}
 	// Serving always runs on the frozen snapshot: lock-free, zero-alloc
 	// reads, postings pre-sorted at freeze time.
-	c := &CoCo{}
+	c := newCoCo()
 	c.arts.Store(arts)
 	c.publish(arts, "build")
 	return c, nil
@@ -140,7 +164,7 @@ func LoadFrozen(path string) (*CoCo, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &CoCo{}
+	c := newCoCo()
 	c.arts.Store(arts)
 	c.publish(arts, "snapshot")
 	return c, nil
@@ -219,6 +243,9 @@ func buildItemIndex(meta *pipeline.ServingMeta) ([]Item, map[core.NodeID]Item, m
 }
 
 // publish swaps in a serving state built on the artifacts' frozen snapshot.
+// The fresh engines are stamped with the new generation, so everything the
+// query caches hold for earlier snapshots becomes unreachable in the same
+// atomic pointer store that publishes the snapshot itself.
 func (c *CoCo) publish(arts *pipeline.Artifacts, source string) {
 	frozen := arts.Frozen
 	items, rev, fwd := buildItemIndex(arts.Serving)
@@ -226,22 +253,48 @@ func (c *CoCo) publish(arts *pipeline.Artifacts, source string) {
 	if source == "snapshot" { // only snapshot files have a recorded CRC
 		checksum = fmt.Sprintf("%08x", frozen.Checksum())
 	}
+	stamp := qcache.Stamp{Gen: c.generation.Add(1), Sum: frozen.Checksum()}
+	se := search.NewEngine(frozen, arts.Serving.Stopwords)
+	se.UseCache(c.searchCache, stamp)
+	re := recommend.NewEngine(frozen)
+	re.UseCache(c.recCache, stamp)
 	c.serving.Store(&servingState{
 		frozen:     frozen,
-		search:     search.NewEngine(frozen, arts.Serving.Stopwords),
-		rec:        recommend.NewEngine(frozen),
+		search:     se,
+		rec:        re,
 		items:      items,
 		itemByNode: rev,
 		itemNode:   fwd,
+		stamp:      stamp,
 		info: ServingInfo{
 			Source:      source,
-			Generation:  c.generation.Add(1),
+			Generation:  stamp.Gen,
 			Checksum:    checksum,
 			PublishedAt: time.Now(),
 			Nodes:       frozen.NumNodes(),
 			Edges:       frozen.NumEdges(),
 		},
 	})
+}
+
+// CacheStamp returns the generation+checksum stamp of the published
+// serving snapshot — the stamp callers layering their own caches on top
+// (e.g. cocoserve's encoded-response cache) must write entries under, so
+// a reload invalidates those layers the same way it invalidates the
+// built-in query caches.
+func (c *CoCo) CacheStamp() qcache.Stamp { return c.serving.Load().stamp }
+
+// QueryCacheStats reports the hit/miss/eviction counters of the two query
+// caches.
+func (c *CoCo) QueryCacheStats() (searchStats, recommendStats qcache.Stats) {
+	return c.searchCache.Stats(), c.recCache.Stats()
+}
+
+// SetQueryCacheCapacity resizes both query caches in place (entries each;
+// n <= 0 disables result caching). Safe to call while serving.
+func (c *CoCo) SetQueryCacheCapacity(n int) {
+	c.searchCache.Resize(n)
+	c.recCache.Resize(n)
 }
 
 // refreeze publishes the live net's current state to the serving engines

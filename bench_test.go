@@ -539,6 +539,11 @@ func BenchmarkFrozenSearchEngine(b *testing.B) {
 // shape; allocs/op is the headline number (expected 0 for exact-match
 // search) and bench.sh records it in BENCH_core.json.
 
+// benchCoCo builds a facade around the shared testbed with the query
+// caches deliberately left unallocated: the batch/sequential benchmarks
+// below measure engine dispatch, and a warm cache would collapse them all
+// into hit measurements (BenchmarkServeCacheHit/Miss in cmd/cocoserve
+// cover the cached path).
 func benchCoCo(b *testing.B) *CoCo {
 	a := benchArtifacts(b)
 	c := &CoCo{}

@@ -20,13 +20,25 @@
 // {"results": [{"Found": bool, "Reason": ..., "Card": ...}, ...]}, both in
 // request order.
 //
-// /stats reports the net shape plus a "snapshot" section: source, serving
-// generation, the snapshot file's checksum (when loaded from disk),
-// publish time, age, and serving node/edge counts.
+// /stats reports the net shape plus a "snapshot" section (source, serving
+// generation, the snapshot file's checksum when loaded from disk, publish
+// time, age, serving node/edge counts) and a "cache" section with
+// hit/miss/eviction counters per cache layer.
+//
+// Serving is cached at two layers, both stamped with the serving
+// generation so POST /reload (or a refreeze) invalidates everything at
+// once without scanning: the facade memoizes composed search/recommend
+// results (shared by the single and batch endpoints), and the hot
+// single-query GETs additionally cache their encoded JSON bytes keyed on
+// the raw query string — a repeat request is one cache lookup and one
+// buffer write. -cache-size sets the per-layer entry budget (0 disables).
+// Request decoding allocates next to nothing: batch bodies parse through
+// a pooled fixed-shape scanner instead of encoding/json, and GET
+// parameters resolve as substrings of the raw query.
 //
 // Usage: cocoserve [-addr :8080] [-scale small|default]
 //
-//	[-snapshot net.fz] [-refresh 5m]
+//	[-snapshot net.fz] [-refresh 5m] [-cache-size 4096]
 //
 // With -snapshot, startup loads the frozen serving snapshot written by
 // `alicoco snapshot save` instead of rebuilding the net — cold start is
@@ -51,6 +63,7 @@ import (
 	"time"
 
 	"alicoco"
+	"alicoco/internal/qcache"
 )
 
 // maxRecommendK caps the k parameter of /recommend so a single request
@@ -83,6 +96,27 @@ type server struct {
 	// live, in which case /reload re-freezes instead. Reloads serialize on
 	// the facade's own offline lock; queries are never blocked.
 	snapshot string
+
+	// searchBytes / recBytes cache the *encoded JSON bytes* of the hot
+	// single-query GET endpoints, keyed on the raw query string and
+	// stamped with the facade's serving generation (a /reload invalidates
+	// them exactly like the engine-level result caches): a hit skips
+	// parameter parsing, engine dispatch, and JSON encoding — one cache
+	// lookup, one buffer write. nil disables the layer (-cache-size 0).
+	searchBytes *qcache.Cache
+	recBytes    *qcache.Cache
+}
+
+// newServer wires a server around a facade with the given per-cache entry
+// budget (the facade's engine-level caches are resized to match).
+func newServer(coco *alicoco.CoCo, snapshot string, cacheSize int) *server {
+	coco.SetQueryCacheCapacity(cacheSize)
+	s := &server{coco: coco, snapshot: snapshot}
+	if cacheSize > 0 {
+		s.searchBytes = qcache.New(cacheSize)
+		s.recBytes = qcache.New(cacheSize)
+	}
+	return s
 }
 
 // jsonCodec is a pooled response encoder: the buffer and the encoder bound
@@ -100,6 +134,17 @@ var codecs = sync.Pool{New: func() any {
 }}
 
 func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONCaching(w, v, nil, qcache.Stamp{}, "")
+}
+
+// writeJSONCaching encodes v through a pooled codec, writes it, and — when
+// cache is non-nil — stores a private copy of the encoded bytes under
+// (stamp, key), so the next identical request is a single buffer write.
+// The stamp was read by the caller *before* computing v, which is what
+// makes a cached entry never older than the generation it is keyed under
+// (a concurrent reload can only make v newer than the stamp, and the new
+// generation stops matching the old entries entirely).
+func (s *server) writeJSONCaching(w http.ResponseWriter, v any, cache *qcache.Cache, stamp qcache.Stamp, key string) {
 	c := codecs.Get().(*jsonCodec)
 	defer func() {
 		if c.buf.Cap() <= maxPooledEncodeBuf {
@@ -114,17 +159,48 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 		http.Error(w, "encode failed", http.StatusInternalServerError)
 		return
 	}
+	if cache != nil && s.coco.CacheStamp() == stamp {
+		cache.PutString(stamp, key, append([]byte(nil), c.buf.Bytes()...))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(c.buf.Bytes()); err != nil {
 		log.Printf("write: %v", err)
 	}
 }
 
+// writeJSONBytes serves an already-encoded cached response.
+func writeJSONBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(b); err != nil {
+		log.Printf("write: %v", err)
+	}
+}
+
 // statsResponse is the /stats payload: the Table-2 net shape plus the
-// serving snapshot's operational metadata.
+// serving snapshot's operational metadata and the query-cache counters.
 type statsResponse struct {
 	alicoco.Stats
 	Snapshot snapshotInfo `json:"snapshot"`
+	Cache    cacheInfo    `json:"cache"`
+}
+
+// cacheInfo breaks the hit/miss/eviction counters down by cache layer:
+// the two facade-level result caches (shared by the single and batch
+// endpoints) and the two encoded-bytes caches of the single-query GETs.
+type cacheInfo struct {
+	Search         qcache.Stats `json:"search"`
+	Recommend      qcache.Stats `json:"recommend"`
+	SearchBytes    qcache.Stats `json:"search_bytes"`
+	RecommendBytes qcache.Stats `json:"recommend_bytes"`
+}
+
+func (s *server) cacheInfo() cacheInfo {
+	ci := cacheInfo{
+		SearchBytes:    s.searchBytes.Stats(),
+		RecommendBytes: s.recBytes.Stats(),
+	}
+	ci.Search, ci.Recommend = s.coco.QueryCacheStats()
+	return ci
 }
 
 type snapshotInfo struct {
@@ -153,16 +229,24 @@ func (s *server) snapshotInfo() snapshotInfo {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, statsResponse{Stats: s.coco.Stats(), Snapshot: s.snapshotInfo()})
+	s.writeJSON(w, statsResponse{Stats: s.coco.Stats(), Snapshot: s.snapshotInfo(), Cache: s.cacheInfo()})
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
+	// The stamp is read before anything else: a response computed after a
+	// concurrent reload can only be newer than it, never staler.
+	raw := r.URL.RawQuery
+	stamp := s.coco.CacheStamp()
+	if v, ok := s.searchBytes.GetString(stamp, raw); ok {
+		writeJSONBytes(w, v.([]byte))
+		return
+	}
+	q, _ := queryParam(raw, "q")
 	if q == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	s.writeJSON(w, s.coco.Search(q, defaultSearchItems))
+	s.writeJSONCaching(w, s.coco.Search(q, defaultSearchItems), s.searchBytes, stamp, raw)
 }
 
 // handleSearchBatch fans a page of queries across workers against one
@@ -173,35 +257,38 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var req struct {
-		Queries  []string `json:"queries"`
-		MaxItems int      `json:"max_items"`
-	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	var err error
+	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Queries) == 0 {
+	queries, maxItems, err := parseSearchBatchBody(sc)
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(queries) == 0 {
 		http.Error(w, "missing queries", http.StatusBadRequest)
 		return
 	}
-	if len(req.Queries) > maxBatch {
+	if len(queries) > maxBatch {
 		http.Error(w, "too many queries (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
 		return
 	}
-	for _, q := range req.Queries {
+	for _, q := range queries {
 		if strings.TrimSpace(q) == "" {
 			http.Error(w, "empty query in batch", http.StatusBadRequest)
 			return
 		}
 	}
-	maxItems := req.MaxItems
 	if maxItems <= 0 {
 		maxItems = defaultSearchItems
 	} else if maxItems > maxSearchItems {
 		maxItems = maxSearchItems
 	}
-	s.writeJSON(w, map[string]any{"results": s.coco.SearchBatch(req.Queries, maxItems)})
+	s.writeJSON(w, map[string]any{"results": s.coco.SearchBatch(queries, maxItems)})
 }
 
 func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
@@ -219,21 +306,23 @@ func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	var ids []int
-	for _, part := range strings.Split(r.URL.Query().Get("items"), ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		id, err := strconv.Atoi(part)
-		if err != nil || id < 0 {
-			http.Error(w, "bad items parameter", http.StatusBadRequest)
-			return
-		}
-		ids = append(ids, id)
+	raw := r.URL.RawQuery
+	stamp := s.coco.CacheStamp()
+	if v, ok := s.recBytes.GetString(stamp, raw); ok {
+		writeJSONBytes(w, v.([]byte))
+		return
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	itemsVal, _ := queryParam(raw, "items")
+	ids, err := appendItemsParam(sc.ids[:0], itemsVal)
+	sc.ids = ids
+	if err != nil {
+		http.Error(w, "bad items parameter", http.StatusBadRequest)
+		return
 	}
 	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
+	if ks, ok := queryParam(raw, "k"); ok && ks != "" {
 		v, err := strconv.Atoi(ks)
 		if err != nil || v <= 0 {
 			http.Error(w, "bad k parameter", http.StatusBadRequest)
@@ -249,7 +338,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no recommendation for these items", http.StatusNotFound)
 		return
 	}
-	s.writeJSON(w, rec)
+	s.writeJSONCaching(w, rec, s.recBytes, stamp, raw)
 }
 
 // handleRecommendBatch recommends for a page of sessions against one
@@ -261,23 +350,27 @@ func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var req struct {
-		Sessions [][]int `json:"sessions"`
-		K        int     `json:"k"`
-	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	var err error
+	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Sessions) == 0 {
+	sessions, k, err := parseRecommendBatchBody(sc)
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(sessions) == 0 {
 		http.Error(w, "missing sessions", http.StatusBadRequest)
 		return
 	}
-	if len(req.Sessions) > maxBatch {
+	if len(sessions) > maxBatch {
 		http.Error(w, "too many sessions (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
 		return
 	}
-	for _, sess := range req.Sessions {
+	for _, sess := range sessions {
 		for _, id := range sess {
 			if id < 0 {
 				http.Error(w, "negative item id in batch", http.StatusBadRequest)
@@ -285,13 +378,12 @@ func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	k := req.K
 	if k <= 0 {
 		k = 10
 	} else if k > maxRecommendK {
 		k = maxRecommendK
 	}
-	s.writeJSON(w, map[string]any{"results": s.coco.RecommendBatch(req.Sessions, k)})
+	s.writeJSON(w, map[string]any{"results": s.coco.RecommendBatch(sessions, k)})
 }
 
 func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
@@ -347,6 +439,8 @@ func main() {
 	scale := flag.String("scale", "small", "build scale: small or default")
 	snapshot := flag.String("snapshot", "", "serve from a frozen snapshot file instead of building")
 	refresh := flag.Duration("refresh", 0, "if > 0, reload the snapshot (or refreeze) on this interval")
+	cacheSize := flag.Int("cache-size", alicoco.DefaultQueryCacheCapacity,
+		"query cache capacity in entries per cache layer (0 disables caching)")
 	flag.Parse()
 
 	var coco *alicoco.CoCo
@@ -373,7 +467,12 @@ func main() {
 	// request handling never contends with anything — including reloads.
 	info := coco.ServingInfo()
 	log.Printf("serving from frozen snapshot: %d nodes, %d edges (source %s)", info.Nodes, info.Edges, info.Source)
-	s := &server{coco: coco, snapshot: *snapshot}
+	s := newServer(coco, *snapshot, *cacheSize)
+	if *cacheSize > 0 {
+		log.Printf("query caches enabled: %d entries per layer (result + encoded-bytes)", *cacheSize)
+	} else {
+		log.Printf("query caches disabled (-cache-size 0)")
+	}
 	if *refresh > 0 {
 		go func() {
 			for range time.Tick(*refresh) {

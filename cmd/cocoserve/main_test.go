@@ -17,15 +17,23 @@ var (
 	srv     *server
 )
 
-func testServer(t *testing.T) *server {
+var srvErr error
+
+// testServer builds the shared test net once (benchmarks reuse it too, so
+// it takes a testing.TB).
+func testServer(t testing.TB) *server {
 	t.Helper()
 	srvOnce.Do(func() {
 		coco, err := alicoco.Build(alicoco.Small())
 		if err != nil {
-			t.Fatal(err)
+			srvErr = err
+			return
 		}
-		srv = &server{coco: coco}
+		srv = newServer(coco, "", alicoco.DefaultQueryCacheCapacity)
 	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
 	return srv
 }
 

@@ -1,0 +1,104 @@
+package recommend
+
+import (
+	"math/rand"
+	"testing"
+
+	"alicoco/internal/core"
+	"alicoco/internal/qcache"
+	"alicoco/internal/raceflag"
+)
+
+// TestRecommendCachedMatchesUncached replays randomized sessions (drawn
+// from a small pool, so repeats hit the cache) through a cached engine and
+// compares every outcome — found flag, concept, reason, items — against an
+// uncached twin.
+func TestRecommendCachedMatchesUncached(t *testing.T) {
+	a := scratchArts(t)
+	cached := NewEngine(a.Frozen)
+	cached.UseCache(qcache.New(128), qcache.Stamp{Gen: 1})
+	plain := NewEngine(a.Frozen)
+
+	rng := rand.New(rand.NewSource(31))
+	sessions := randomSessions(a, rng, 40)
+	var reused Recommendation
+	for trial := 0; trial < 600; trial++ {
+		sess := sessions[rng.Intn(len(sessions))]
+		k := 1 + rng.Intn(3)*5
+		okCached := cached.RecommendInto(&reused, sess, k)
+		fresh, okFresh := plain.Recommend(sess, k)
+		if okCached != okFresh || (okCached && !recsEqual(reused, fresh)) {
+			t.Fatalf("trial %d: cached recommendation differs (k=%d):\ncached %v %+v\nfresh  %v %+v",
+				trial, k, okCached, reused, okFresh, fresh)
+		}
+	}
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Fatal("stream produced no cache hits; test is vacuous")
+	}
+}
+
+// TestRecommendScoredPathBypassesCache: RecommendRanked with a score
+// function must not read or write the cache (the closure can change
+// between calls).
+func TestRecommendScoredPathBypassesCache(t *testing.T) {
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	e.UseCache(qcache.New(128), qcache.Stamp{Gen: 1})
+	rng := rand.New(rand.NewSource(7))
+	sess := randomSessions(a, rng, 1)[0]
+	e.RecommendRanked(sess, 5, func(_ []core.NodeID, item core.NodeID) float64 { return float64(item) })
+	if st := e.CacheStats(); st.Hits+st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("scored path touched the cache: %+v", st)
+	}
+	// The unscored path with the same session still works and caches.
+	e.Recommend(sess, 5)
+	if st := e.CacheStats(); st.Misses != 1 {
+		t.Fatalf("unscored path did not consult the cache: %+v", st)
+	}
+}
+
+// TestRecommendCachedHitZeroAllocs: a session served from the cache into a
+// reused Recommendation performs zero allocations.
+func TestRecommendCachedHitZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation guards are not meaningful under -race (sync.Pool drops items)")
+	}
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	e.UseCache(qcache.New(64), qcache.Stamp{Gen: 1})
+	rng := rand.New(rand.NewSource(13))
+	sess := randomSessions(a, rng, 1)[0]
+	var rec Recommendation
+	e.RecommendInto(&rec, sess, 10) // miss: computes and stores
+	e.RecommendInto(&rec, sess, 10) // hit: warms the copy path
+	allocs := testing.AllocsPerRun(200, func() {
+		e.RecommendInto(&rec, sess, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached-hit RecommendInto allocates %.1f times per op, want 0", allocs)
+	}
+	if st := e.CacheStats(); st.Hits == 0 {
+		t.Fatal("guard never hit the cache")
+	}
+}
+
+// TestRecommendNegativeOutcomeCached: sessions with no recommendation are
+// memoized too (found=false round-trips through the cache).
+func TestRecommendNegativeOutcomeCached(t *testing.T) {
+	a := scratchArts(t)
+	e := NewEngine(a.Frozen)
+	e.UseCache(qcache.New(64), qcache.Stamp{Gen: 1})
+	var rec Recommendation
+	if e.RecommendInto(&rec, nil, 5) {
+		t.Fatal("empty session should not recommend")
+	}
+	if e.RecommendInto(&rec, nil, 5) {
+		t.Fatal("cached empty session should not recommend")
+	}
+	if rec.Concept != core.InvalidNode || rec.Reason != "" || len(rec.Items) != 0 {
+		t.Fatalf("cached negative outcome leaked state: %+v", rec)
+	}
+	if st := e.CacheStats(); st.Hits != 1 {
+		t.Fatalf("negative outcome not served from cache: %+v", st)
+	}
+}

@@ -4,11 +4,13 @@
 package recommend
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync"
 
 	"alicoco/internal/core"
 	"alicoco/internal/par"
+	"alicoco/internal/qcache"
 	"alicoco/internal/topk"
 )
 
@@ -27,6 +29,7 @@ type Recommendation struct {
 type scratch struct {
 	votes map[core.NodeID]float64 // concept -> accumulated edge weight
 	seen  map[core.NodeID]bool    // viewed items, excluded from results
+	key   []byte                  // session-cache key (k + viewed node ids)
 	heap  topk.Heap
 }
 
@@ -44,6 +47,17 @@ type Engine struct {
 	// there).
 	reasons map[core.NodeID]string
 	pool    sync.Pool // *scratch
+	// cache, when attached, memoizes sessions keyed on (k, viewed ids)
+	// and stamped with the serving snapshot's generation; see UseCache.
+	cache *qcache.Cache
+	stamp qcache.Stamp
+}
+
+// cachedRec is the immutable value the session cache retains: the outcome
+// flag plus a private copy of the recommendation.
+type cachedRec struct {
+	ok  bool
+	rec Recommendation
 }
 
 // NewEngine wraps a net (live or frozen).
@@ -61,6 +75,22 @@ func NewEngine(net core.Reader) *Engine {
 	}
 	return e
 }
+
+// UseCache attaches a shared session-result cache. Entries are stamped
+// with the publish generation (and snapshot checksum) of the net this
+// engine serves, so a reload or refreeze invalidates everything cached
+// against older snapshots without any scan. Only the unscored path
+// (score == nil, the serving configuration) is memoized: a caller-supplied
+// ranking closure could change between calls, so scored sessions always
+// compute. Hits deep-copy into the caller's reused Recommendation, keeping
+// RecommendInto allocation-free.
+func (e *Engine) UseCache(c *qcache.Cache, stamp qcache.Stamp) {
+	e.cache = c
+	e.stamp = stamp
+}
+
+// CacheStats reports the attached cache's counters (zero when uncached).
+func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 
 // reasonFor returns the recommendation reason for a concept.
 func (e *Engine) reasonFor(concept core.NodeID) string {
@@ -102,6 +132,42 @@ func (e *Engine) recommendRanked(rec *Recommendation, viewed []core.NodeID, k in
 	rec.Reason = ""
 	rec.Items = rec.Items[:0]
 
+	cached := e.cache != nil && score == nil
+	if cached {
+		sc.key = appendSessionKey(sc.key[:0], viewed, k)
+		if v, ok := e.cache.Get(e.stamp, sc.key); ok {
+			cr := v.(*cachedRec)
+			rec.Concept = cr.rec.Concept
+			rec.Reason = cr.rec.Reason
+			rec.Items = append(rec.Items[:0], cr.rec.Items...)
+			return cr.ok
+		}
+	}
+	ok := e.recommendUncached(sc, rec, viewed, k, score)
+	if cached {
+		e.cache.Put(e.stamp, sc.key, &cachedRec{ok: ok, rec: Recommendation{
+			Concept: rec.Concept,
+			Reason:  rec.Reason,
+			Items:   append([]core.NodeID(nil), rec.Items...),
+		}})
+	}
+	return ok
+}
+
+// appendSessionKey builds the cache key: k (part of the answer shape,
+// full 64-bit so distinct values can never collide) followed by the
+// viewed item nodes in session order.
+func appendSessionKey(dst []byte, viewed []core.NodeID, k int) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(k)))
+	for _, id := range viewed {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	return dst
+}
+
+// recommendUncached computes the recommendation; sc is the caller's pooled
+// scratch, and rec has already been reset.
+func (e *Engine) recommendUncached(sc *scratch, rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) bool {
 	clear(sc.votes)
 	for _, item := range viewed {
 		for _, he := range e.net.EConceptsForItem(item, 0) {

@@ -1,0 +1,118 @@
+package search
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alicoco/internal/qcache"
+	"alicoco/internal/raceflag"
+)
+
+// TestSearchCachedMatchesUncached replays a randomized query stream (with
+// heavy repetition, so hits actually occur) through a cached engine and
+// compares every answer against an uncached twin — the cache may never
+// change an answer, only its cost.
+func TestSearchCachedMatchesUncached(t *testing.T) {
+	a := buildArts(t)
+	cached := NewEngine(a.Frozen, a.World.Stopwords())
+	cached.UseCache(qcache.New(256), qcache.Stamp{Gen: 1})
+	plain := NewEngine(a.Frozen, a.World.Stopwords())
+
+	rng := rand.New(rand.NewSource(23))
+	queries := []string{"outdoor barbecue", "barbecue outdoor", "grill", "", "UNKNOWN words"}
+	for _, qs := range a.World.QuerySet(40) {
+		queries = append(queries, strings.Join(qs.Tokens, " "))
+	}
+	var reused Response
+	for trial := 0; trial < 600; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		maxItems := rng.Intn(4) * 5 // repeats (q, maxItems) pairs often
+		cached.SearchInto(&reused, q, maxItems)
+		fresh := plain.Search(q, maxItems)
+		if !respEqual(reused, fresh) {
+			t.Fatalf("trial %d: cached answer differs for %q (maxItems=%d):\ncached %+v\nfresh  %+v",
+				trial, q, maxItems, reused, fresh)
+		}
+	}
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Fatal("stream produced no cache hits; test is vacuous")
+	}
+}
+
+// TestSearchCacheStampMiss: an engine on a newer stamp must never serve
+// entries a previous engine wrote against the same shared cache.
+func TestSearchCacheStampMiss(t *testing.T) {
+	a := buildArts(t)
+	shared := qcache.New(256)
+	old := NewEngine(a.Frozen, a.World.Stopwords())
+	old.UseCache(shared, qcache.Stamp{Gen: 1})
+	old.Search("outdoor barbecue", 10) // populates gen-1 entry
+
+	next := NewEngine(a.Frozen, a.World.Stopwords())
+	next.UseCache(shared, qcache.Stamp{Gen: 2})
+	before := shared.Stats()
+	resp := next.Search("outdoor barbecue", 10)
+	after := shared.Stats()
+	if after.Hits != before.Hits {
+		t.Fatal("gen-2 engine hit a gen-1 entry")
+	}
+	if len(resp.Cards) == 0 {
+		t.Fatal("recomputed answer is wrong")
+	}
+	// And the recomputed entry now serves gen-2 lookups.
+	next.Search("outdoor barbecue", 10)
+	if final := shared.Stats(); final.Hits != after.Hits+1 {
+		t.Fatal("gen-2 entry not cached")
+	}
+}
+
+// TestSearchVotingZeroAllocs is the CI guard for the tentpole property: a
+// non-exact (primitive-voting) query served from a frozen snapshot into a
+// reused Response does zero allocations per call — the pooled segmenter
+// scratch and byte-keyed surface lookups closed the last leaks.
+func TestSearchVotingZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation guards are not meaningful under -race (sync.Pool drops items)")
+	}
+	a := buildArts(t)
+	e := NewEngine(a.Frozen, a.World.Stopwords())
+	var resp Response
+	// "barbecue outdoor" is not an e-commerce concept surface, so it takes
+	// the voting path end-to-end (segmentation, primitive votes, card
+	// ranking, plain item hits).
+	e.SearchInto(&resp, "barbecue outdoor", 10) // warm pooled scratch + resp
+	if len(resp.Cards) == 0 && len(resp.Items) == 0 {
+		t.Fatal("voting query should produce results")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.SearchInto(&resp, "barbecue outdoor", 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("voting SearchInto allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSearchCachedHitZeroAllocs: a cache hit deep-copied into a reused
+// Response is also allocation-free, so attaching the cache cannot regress
+// the zero-alloc serving property.
+func TestSearchCachedHitZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation guards are not meaningful under -race (sync.Pool drops items)")
+	}
+	a := buildArts(t)
+	e := NewEngine(a.Frozen, a.World.Stopwords())
+	e.UseCache(qcache.New(64), qcache.Stamp{Gen: 1})
+	var resp Response
+	e.SearchInto(&resp, "barbecue outdoor", 10) // miss: computes and stores
+	e.SearchInto(&resp, "barbecue outdoor", 10) // hit: warms the copy path
+	allocs := testing.AllocsPerRun(200, func() {
+		e.SearchInto(&resp, "barbecue outdoor", 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached-hit SearchInto allocates %.1f times per op, want 0", allocs)
+	}
+	if st := e.CacheStats(); st.Hits == 0 {
+		t.Fatal("guard never hit the cache")
+	}
+}

@@ -5,11 +5,13 @@
 package search
 
 import (
+	"encoding/binary"
 	"slices"
 	"strings"
 	"sync"
 
 	"alicoco/internal/core"
+	"alicoco/internal/qcache"
 	"alicoco/internal/text"
 	"alicoco/internal/topk"
 )
@@ -42,6 +44,8 @@ const maxVotedCards = 3
 type scratch struct {
 	tokens []string
 	name   []byte               // space-joined tokens, the exact-match key
+	key    []byte               // query-cache key (maxItems + raw query bytes)
+	segs   []text.Segment       // max-match segmentation buffer
 	prims  []core.NodeID        // matched primitive concepts
 	votes  map[core.NodeID]int  // concept -> primitive votes
 	seen   map[core.NodeID]bool // item dedup for plain hits
@@ -58,6 +62,11 @@ type Engine struct {
 	seg       *text.Segmenter
 	stopwords map[string]bool
 	pool      sync.Pool // *scratch
+	// cache, when attached, memoizes composed query results keyed on the
+	// raw query bytes and stamped with the serving snapshot's generation;
+	// see UseCache.
+	cache *qcache.Cache
+	stamp qcache.Stamp
 }
 
 func newEngine(net core.Reader, stopwords []string) *Engine {
@@ -99,22 +108,55 @@ func (e *Engine) Search(query string, maxItems int) Response {
 	return resp
 }
 
+// UseCache attaches a shared query-result cache. Every entry is stamped
+// with stamp — the publish generation (and snapshot checksum) of the net
+// this engine serves — so entries written by an engine on an older
+// snapshot can never satisfy this engine's lookups: a reload or refreeze
+// invalidates the whole cache for free. Cache hits deep-copy the memoized
+// Response into the caller's reused one, so the zero-allocation SearchInto
+// contract survives caching.
+func (e *Engine) UseCache(c *qcache.Cache, stamp qcache.Stamp) {
+	e.cache = c
+	e.stamp = stamp
+}
+
+// CacheStats reports the attached cache's counters (zero when uncached).
+func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
+
 // SearchInto is Search writing into a caller-owned Response, recycling its
 // backing arrays. On the exact-match path — a normalized query naming an
 // e-commerce concept, answered from a frozen snapshot — a reused Response
 // makes the whole call allocation-free: pooled scratch, zero-copy postings,
-// recycled card storage.
+// recycled card storage. The pooled-DP segmenter and byte-keyed name
+// lookups extend the same property to the voting (non-exact) path, and a
+// cache hit costs only the deep copy into resp.
 func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
 	resp.Cards = resp.Cards[:0]
 	resp.Items = resp.Items[:0]
 
+	if e.cache != nil {
+		sc.key = appendSearchKey(sc.key[:0], query, maxItems)
+		if v, ok := e.cache.Get(e.stamp, sc.key); ok {
+			copyResponse(resp, v.(*Response))
+			return
+		}
+	}
+	e.searchUncached(sc, resp, query, maxItems)
+	if e.cache != nil {
+		e.cache.Put(e.stamp, sc.key, cloneResponse(resp))
+	}
+}
+
+// searchUncached computes the answer through the engines; sc is the
+// caller's pooled scratch.
+func (e *Engine) searchUncached(sc *scratch, resp *Response, query string, maxItems int) {
 	sc.tokens = text.AppendTokens(sc.tokens[:0], query)
 
 	// 1. Exact e-commerce concept match, keyed through the reused join
 	// buffer so no query string is materialized.
-	sc.name = appendJoin(sc.name[:0], sc.tokens)
+	sc.name = text.AppendJoin(sc.name[:0], sc.tokens)
 	if id := e.net.FirstByNameKindBytes(sc.name, core.KindEConcept); id != core.InvalidNode {
 		e.appendCard(resp, id, maxItems)
 		return
@@ -124,7 +166,7 @@ func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
 	// matched primitives win. The bounded heap keeps the maxVotedCards
 	// best (votes desc, id asc — the order the full sort used) without
 	// ranking every candidate.
-	sc.prims = e.appendMatchPrimitives(sc.prims[:0], sc.tokens)
+	sc.prims = e.appendMatchPrimitives(sc, sc.prims[:0], sc.tokens)
 	clear(sc.votes)
 	for _, prim := range sc.prims {
 		for _, he := range e.net.In(prim, core.EdgeInterpretedBy) {
@@ -160,17 +202,6 @@ collect:
 	slices.Sort(resp.Items) // unlike sort.Slice, allocation-free
 }
 
-// appendJoin writes the tokens space-separated into dst.
-func appendJoin(dst []byte, tokens []string) []byte {
-	for i, tok := range tokens {
-		if i > 0 {
-			dst = append(dst, ' ')
-		}
-		dst = append(dst, tok...)
-	}
-	return dst
-}
-
 // appendCard appends the concept's card to resp, reviving the Items backing
 // array of a card previously stored in the same slot when the Response is
 // being reused.
@@ -191,18 +222,65 @@ func (e *Engine) appendCard(resp *Response, concept core.NodeID, maxItems int) {
 }
 
 // appendMatchPrimitives max-matches the query against primitive surfaces.
-func (e *Engine) appendMatchPrimitives(dst []core.NodeID, tokens []string) []core.NodeID {
-	for _, seg := range e.seg.MaxMatch(tokens) {
+// It runs on the scratch's reused segmentation buffer and resolves each
+// matched surface through the byte-keyed exact lookup, so the voting path
+// stays allocation-free (the first reading of a surface is enough for
+// retrieval, which is exactly what FirstByNameKindBytes returns).
+func (e *Engine) appendMatchPrimitives(sc *scratch, dst []core.NodeID, tokens []string) []core.NodeID {
+	sc.segs = e.seg.SegmentInto(sc.segs[:0], tokens)
+	for _, seg := range sc.segs {
 		if len(seg.Labels) == 0 {
 			continue
 		}
-		surface := strings.Join(tokens[seg.Start:seg.End], " ")
-		for _, id := range e.net.FindByNameKind(surface, core.KindPrimitive) {
+		sc.name = text.AppendJoin(sc.name[:0], tokens[seg.Start:seg.End])
+		if id := e.net.FirstByNameKindBytes(sc.name, core.KindPrimitive); id != core.InvalidNode {
 			dst = append(dst, id)
-			break // first reading is enough for retrieval
 		}
 	}
 	return dst
+}
+
+// appendSearchKey builds the cache key: maxItems (part of the answer
+// shape, full 64-bit so distinct values can never collide) followed by
+// the raw query bytes.
+func appendSearchKey(dst []byte, query string, maxItems int) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(maxItems)))
+	return append(dst, query...)
+}
+
+// copyResponse deep-copies a cached canonical Response into a caller-owned
+// one, reviving dst's backing arrays exactly like appendCard does — with a
+// reused dst the copy allocates nothing in steady state.
+func copyResponse(dst *Response, src *Response) {
+	for i := range src.Cards {
+		if cap(dst.Cards) > len(dst.Cards) {
+			dst.Cards = dst.Cards[:len(dst.Cards)+1]
+		} else {
+			dst.Cards = append(dst.Cards, ConceptCard{})
+		}
+		card := &dst.Cards[len(dst.Cards)-1]
+		card.Concept = src.Cards[i].Concept
+		card.Name = src.Cards[i].Name
+		card.Items = append(card.Items[:0], src.Cards[i].Items...)
+	}
+	dst.Items = append(dst.Items[:0], src.Items...)
+}
+
+// cloneResponse makes the immutable copy the cache retains (the caller's
+// resp is about to be recycled, so the cache cannot alias it).
+func cloneResponse(resp *Response) *Response {
+	out := &Response{
+		Cards: make([]ConceptCard, len(resp.Cards)),
+		Items: append([]core.NodeID(nil), resp.Items...),
+	}
+	for i, c := range resp.Cards {
+		out.Cards[i] = ConceptCard{
+			Concept: c.Concept,
+			Name:    c.Name,
+			Items:   append([]core.NodeID(nil), c.Items...),
+		}
+	}
+	return out
 }
 
 // Covered reports whether every non-stopword token of the query is part of

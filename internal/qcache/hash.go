@@ -1,0 +1,89 @@
+package qcache
+
+import "math/bits"
+
+// xxhash64 (XXH64, seed 0), implemented here so the cache key hash is
+// dependency-free. The generic signature lets both []byte keys and string
+// keys hash without converting (converting a string to []byte would
+// allocate on the hot path). Conformance to the reference vectors is
+// pinned by TestXXH64Vectors.
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Hash returns the XXH64 (seed 0) of the key bytes.
+func Hash[T ~string | ~[]byte](b T) uint64 {
+	n := len(b)
+	i := 0
+	var h uint64
+	if n >= 32 {
+		// The accumulator seeds wrap modulo 2^64, so they must be computed
+		// on variables (constant arithmetic would overflow at compile time).
+		v1 := prime1
+		v1 += prime2
+		v2 := prime2
+		v3 := uint64(0)
+		v4 := uint64(0)
+		v4 -= prime1
+		for ; i+32 <= n; i += 32 {
+			v1 = round(v1, le64(b, i))
+			v2 = round(v2, le64(b, i+8))
+			v3 = round(v3, le64(b, i+16))
+			v4 = round(v4, le64(b, i+24))
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += uint64(n)
+	for ; i+8 <= n; i += 8 {
+		h ^= round(0, le64(b, i))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	}
+	if i+4 <= n {
+		h ^= uint64(le32(b, i)) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		i += 4
+	}
+	for ; i < n; i++ {
+		h ^= uint64(b[i]) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	return bits.RotateLeft64(acc, 31) * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+// le64 reads 8 little-endian bytes at offset i.
+func le64[T ~string | ~[]byte](b T, i int) uint64 {
+	return uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+		uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+}
+
+// le32 reads 4 little-endian bytes at offset i.
+func le32[T ~string | ~[]byte](b T, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}

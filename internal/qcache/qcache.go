@@ -1,0 +1,337 @@
+// Package qcache is a sharded, generation-stamped query-result cache for
+// the serving path. AliCoCo's workloads (semantic search, cognitive
+// recommendation) are read-heavy with highly skewed, repetitive query
+// distributions — exactly the shape a result cache exploits — and serving
+// runs on immutable frozen snapshots, which makes invalidation trivial:
+// every entry is stamped with the snapshot's publish generation (plus its
+// checksum), and lookups carry the stamp of the snapshot they are about to
+// read. A /reload or Refreeze bumps the generation, so every entry cached
+// against the old snapshot simply stops matching — the whole cache is
+// invalidated for free, with no epoch scans and no flush pause. Stale
+// entries are dropped lazily when a lookup lands on them, or pushed out by
+// normal LRU pressure.
+//
+// Concurrency: keys are hashed with xxhash64 and distributed across
+// power-of-two shards; each shard is an independent mutex + intrusive LRU
+// list, so concurrent requests contend only when they hash to the same
+// shard. Get and GetString are allocation-free (stored values are returned
+// as-is); Put copies the key and should be handed an immutable value.
+package qcache
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Stamp identifies the serving snapshot an entry was computed from: the
+// facade's monotone publish generation plus the snapshot file's CRC-32
+// (zero for in-process freezes). An entry is served only when its stamp
+// equals the lookup's stamp, so a republished snapshot can never satisfy a
+// lookup with results from a predecessor.
+type Stamp struct {
+	Gen uint64
+	Sum uint32
+}
+
+// Stats is a point-in-time counter snapshot of one cache.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// entry is one cached result, linked into its shard's LRU list.
+type entry struct {
+	hash       uint64 // full key hash, kept for map deletion on eviction
+	key        []byte // full key bytes, compared on every hit (collision guard)
+	stamp      Stamp
+	val        any
+	prev, next *entry // LRU list, head = most recently used
+}
+
+// shard is an independent slice of the cache: its own lock, hash map, and
+// LRU list. One map slot per hash; a colliding Put replaces the resident.
+type shard struct {
+	mu         sync.Mutex
+	m          map[uint64]*entry
+	head, tail *entry
+	cap        int
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}
+
+// Cache is a sharded, bounded, generation-stamped result cache. The zero
+// value is not usable; construct with New. A nil *Cache is valid and
+// behaves as an always-miss cache, so callers can leave caching unwired
+// without branching.
+type Cache struct {
+	shards []shard
+	mask   uint64
+}
+
+// shardCount picks a power-of-two shard count scaled to the host's
+// parallelism (capped so tiny caches are not shredded into useless slivers).
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	c := 1
+	for c < n && c < 64 {
+		c <<= 1
+	}
+	return c
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// New returns a cache holding about capacity entries, rounded up to a power
+// of two and split evenly across the shards. capacity <= 0 yields a cache
+// that stores nothing (every lookup misses), which is how caching is
+// disabled without changing call sites.
+func New(capacity int) *Cache {
+	return newWithShards(capacity, shardCount())
+}
+
+// newWithShards is New with an explicit shard count (tests pin it so LRU
+// order is deterministic regardless of GOMAXPROCS).
+func newWithShards(capacity, shards int) *Cache {
+	shards = ceilPow2(shards)
+	c := &Cache{shards: make([]shard, shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*entry)
+	}
+	c.setCapacity(capacity)
+	return c
+}
+
+// setCapacity distributes capacity across shards and evicts overflow.
+func (c *Cache) setCapacity(capacity int) {
+	per := 0
+	if capacity > 0 {
+		per = ceilPow2(capacity) / len(c.shards)
+		if per < 1 {
+			per = 1
+		}
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.cap = per
+		for len(s.m) > s.cap {
+			s.evictTail()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Resize changes the cache's capacity in place, evicting LRU overflow.
+// n <= 0 empties the cache and disables storage.
+func (c *Cache) Resize(n int) {
+	if c == nil {
+		return
+	}
+	c.setCapacity(n)
+}
+
+// Get returns the value cached for key under stamp. An entry stamped by a
+// different snapshot generation is a miss and is dropped on the spot.
+func (c *Cache) Get(stamp Stamp, key []byte) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	h := Hash(key)
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[h]
+	if e == nil || !bytesEqualKey(e.key, key) {
+		s.misses++
+		return nil, false
+	}
+	if e.stamp != stamp {
+		// Lazy invalidation: the serving snapshot moved on, so the slot is
+		// dead weight — free it rather than waiting for LRU pressure.
+		s.remove(e)
+		s.misses++
+		return nil, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	return e.val, true
+}
+
+// GetString is Get keyed by a string, hashing and comparing without
+// converting (or allocating) the key.
+func (c *Cache) GetString(stamp Stamp, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	h := Hash(key)
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[h]
+	if e == nil || string(e.key) != key { // string(b) == s compiles without allocating
+		s.misses++
+		return nil, false
+	}
+	if e.stamp != stamp {
+		s.remove(e)
+		s.misses++
+		return nil, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	return e.val, true
+}
+
+// Put stores val for key under stamp. The key bytes are copied; val is
+// retained as-is and must never be mutated afterwards (cache a private
+// deep copy of anything the caller will reuse). A hash-colliding resident
+// entry is replaced, keeping the map at one entry per hash.
+func (c *Cache) Put(stamp Stamp, key []byte, val any) {
+	if c == nil {
+		return
+	}
+	h := Hash(key)
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap <= 0 {
+		return
+	}
+	if e := s.m[h]; e != nil {
+		// Same hash: refresh in place (same key) or replace the colliding
+		// resident — either way the newest result wins the slot.
+		e.key = append(e.key[:0], key...)
+		e.stamp = stamp
+		e.val = val
+		s.moveToFront(e)
+		return
+	}
+	e := &entry{hash: h, key: append([]byte(nil), key...), stamp: stamp, val: val}
+	s.m[h] = e
+	s.pushFront(e)
+	if len(s.m) > s.cap {
+		s.evictTail()
+	}
+}
+
+// PutString is Put keyed by a string.
+func (c *Cache) PutString(stamp Stamp, key string, val any) {
+	if c == nil {
+		return
+	}
+	// The key is copied into the entry either way, so the []byte path is
+	// reused with a throwaway conversion only on this (already-allocating)
+	// store path.
+	c.Put(stamp, []byte(key), val)
+}
+
+// Stats sums the per-shard counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.m)
+		st.Capacity += s.cap
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// bytesEqualKey compares two keys without importing bytes (keeps the hot
+// path free of interface conversions the compiler cannot see through).
+func bytesEqualKey(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- intrusive LRU list (callers hold the shard lock) -------------------
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// remove deletes e from the shard entirely.
+func (s *shard) remove(e *entry) {
+	s.unlink(e)
+	delete(s.m, e.hash)
+}
+
+// evictTail drops the least recently used entry (counted as an eviction,
+// including capacity-shrink evictions from Resize).
+func (s *shard) evictTail() {
+	if s.tail == nil {
+		return
+	}
+	s.remove(s.tail)
+	s.evictions++
+}

@@ -1,0 +1,293 @@
+package qcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"alicoco/internal/raceflag"
+)
+
+// TestXXH64Vectors pins the hash to the published XXH64 (seed 0) reference
+// values, so the implementation cannot silently drift from the spec.
+func TestXXH64Vectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"as", 0x1c330fb2d66be179},
+		{"asd", 0x631c37ce72a97393},
+		{"asdf", 0x415872f599cea71e},
+		{
+			// Exactly 63 characters, exercising every tail code path.
+			"Call me Ishmael. Some years ago--never mind how long precisely-",
+			0x02a2e85470d6fd96,
+		},
+	}
+	for _, v := range vectors {
+		if got := Hash(v.in); got != v.want {
+			t.Errorf("Hash(%q) = %#x, want %#x", v.in, got, v.want)
+		}
+		if got := Hash([]byte(v.in)); got != v.want {
+			t.Errorf("Hash([]byte(%q)) = %#x, want %#x", v.in, got, v.want)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newWithShards(64, 4)
+	s1 := Stamp{Gen: 1, Sum: 0xabcd}
+	c.Put(s1, []byte("outdoor barbecue"), "v1")
+	if v, ok := c.Get(s1, []byte("outdoor barbecue")); !ok || v.(string) != "v1" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if v, ok := c.GetString(s1, "outdoor barbecue"); !ok || v.(string) != "v1" {
+		t.Fatalf("GetString = %v, %v", v, ok)
+	}
+	if _, ok := c.Get(s1, []byte("winter coat")); ok {
+		t.Fatal("unexpected hit for absent key")
+	}
+	// Overwrite: same key, newest value wins.
+	c.Put(s1, []byte("outdoor barbecue"), "v2")
+	if v, _ := c.Get(s1, []byte("outdoor barbecue")); v.(string) != "v2" {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestStampMismatchMissesAndDrops: an entry from an old generation must
+// never be served, and looking it up evicts it on the spot.
+func TestStampMismatchMissesAndDrops(t *testing.T) {
+	c := newWithShards(64, 1)
+	old := Stamp{Gen: 1, Sum: 7}
+	c.Put(old, []byte("q"), "stale")
+	for _, stamp := range []Stamp{{Gen: 2, Sum: 7}, {Gen: 1, Sum: 8}} {
+		c.Put(old, []byte("q"), "stale")
+		if _, ok := c.Get(stamp, []byte("q")); ok {
+			t.Fatalf("stale hit under stamp %+v", stamp)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("stale entry not dropped under stamp %+v", stamp)
+		}
+	}
+	// Same for the string path.
+	c.Put(old, []byte("q"), "stale")
+	if _, ok := c.GetString(Stamp{Gen: 9}, "q"); ok {
+		t.Fatal("stale GetString hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale entry not dropped by GetString")
+	}
+}
+
+// TestLRUEviction fills a single-shard cache past capacity and checks that
+// the least recently used keys fall out, in order.
+func TestLRUEviction(t *testing.T) {
+	c := newWithShards(4, 1) // capacity 4, one shard: deterministic order
+	s := Stamp{Gen: 1}
+	for i := 0; i < 4; i++ {
+		c.Put(s, []byte{byte(i)}, i)
+	}
+	// Touch 0 so 1 becomes the LRU.
+	if _, ok := c.Get(s, []byte{0}); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.Put(s, []byte{9}, 9) // evicts 1
+	if _, ok := c.Get(s, []byte{1}); ok {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, k := range []byte{0, 2, 3, 9} {
+		if _, ok := c.Get(s, []byte{k}); !ok {
+			t.Fatalf("entry %d unexpectedly evicted", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 4 || st.Capacity != 4 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := newWithShards(16, 1)
+	s := Stamp{Gen: 1}
+	for i := 0; i < 16; i++ {
+		c.Put(s, []byte{byte(i)}, i)
+	}
+	c.Resize(4)
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len after shrink = %d, want 4", got)
+	}
+	// The survivors are the 4 most recently used.
+	for _, k := range []byte{12, 13, 14, 15} {
+		if _, ok := c.Get(s, []byte{k}); !ok {
+			t.Fatalf("MRU entry %d evicted by shrink", k)
+		}
+	}
+	c.Resize(0)
+	if c.Len() != 0 {
+		t.Fatal("Resize(0) should empty the cache")
+	}
+	c.Put(s, []byte("x"), 1)
+	if c.Len() != 0 {
+		t.Fatal("Put on a zero-capacity cache stored an entry")
+	}
+	if _, ok := c.Get(s, []byte("x")); ok {
+		t.Fatal("zero-capacity cache returned a hit")
+	}
+}
+
+func TestZeroCapacityNew(t *testing.T) {
+	c := New(0)
+	c.Put(Stamp{Gen: 1}, []byte("k"), "v")
+	if _, ok := c.Get(Stamp{Gen: 1}, []byte("k")); ok {
+		t.Fatal("New(0) cache must always miss")
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	c.Put(Stamp{Gen: 1}, []byte("k"), "v")
+	c.PutString(Stamp{Gen: 1}, "k", "v")
+	if _, ok := c.Get(Stamp{Gen: 1}, []byte("k")); ok {
+		t.Fatal("nil cache hit")
+	}
+	if _, ok := c.GetString(Stamp{Gen: 1}, "k"); ok {
+		t.Fatal("nil cache string hit")
+	}
+	c.Resize(10)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len")
+	}
+}
+
+// TestPutCopiesKey: mutating the caller's key buffer after Put must not
+// corrupt the stored entry (engines build keys in pooled scratch).
+func TestPutCopiesKey(t *testing.T) {
+	c := newWithShards(8, 1)
+	s := Stamp{Gen: 1}
+	key := []byte("abc")
+	c.Put(s, key, "v")
+	key[0] = 'z'
+	if _, ok := c.Get(s, []byte("abc")); !ok {
+		t.Fatal("entry lost after caller mutated the key buffer")
+	}
+	if _, ok := c.Get(s, key); ok {
+		t.Fatal("mutated key should miss")
+	}
+}
+
+// TestGetStringMatchesGet: the two lookup paths agree on hashing and
+// comparison for random keys.
+func TestGetStringMatchesGet(t *testing.T) {
+	c := newWithShards(1024, 4)
+	s := Stamp{Gen: 3, Sum: 1}
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]string, 200)
+	for i := range keys {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		keys[i] = string(b)
+		c.PutString(s, keys[i], i)
+	}
+	for i, k := range keys {
+		v1, ok1 := c.Get(s, []byte(k))
+		v2, ok2 := c.GetString(s, k)
+		if !ok1 || !ok2 || v1 != v2 {
+			t.Fatalf("key %d: Get=(%v,%v) GetString=(%v,%v)", i, v1, ok1, v2, ok2)
+		}
+	}
+	if got := Hash("hello"); got != Hash([]byte("hello")) {
+		t.Fatal("string and byte hashing disagree")
+	}
+}
+
+// TestConcurrentHammer exercises Get/Put/Resize/Stats from many goroutines;
+// -race proves shard locking is sound.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(256)
+	stamps := []Stamp{{Gen: 1}, {Gen: 2}, {Gen: 3, Sum: 5}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			key := make([]byte, 0, 16)
+			for i := 0; i < 2000; i++ {
+				key = append(key[:0], fmt.Sprintf("q-%d", rng.Intn(500))...)
+				stamp := stamps[rng.Intn(len(stamps))]
+				if v, ok := c.Get(stamp, key); ok {
+					// A hit must carry the value stored under this stamp.
+					want := fmt.Sprintf("%s@%d", key, stamp.Gen)
+					if v.(string) != want {
+						t.Errorf("hit %q under %+v returned %q", key, stamp, v)
+						return
+					}
+				} else {
+					c.Put(stamp, key, fmt.Sprintf("%s@%d", key, stamp.Gen))
+				}
+				if i%500 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 20; i++ {
+			c.Resize(64 + i*16)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+}
+
+// TestGetZeroAllocs is the CI guard for the hit path: a cache hit performs
+// zero allocations (the stored value is returned as-is, keys are hashed
+// and compared in place).
+func TestGetZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation guards are not meaningful under -race")
+	}
+	c := New(64)
+	stamp := Stamp{Gen: 1, Sum: 2}
+	val := &Stats{Hits: 42} // any pre-boxed pointer value
+	c.Put(stamp, []byte("outdoor barbecue"), val)
+	key := []byte("outdoor barbecue")
+	allocs := testing.AllocsPerRun(200, func() {
+		v, ok := c.Get(stamp, key)
+		if !ok || v.(*Stats).Hits != 42 {
+			t.Fatal("hit failed")
+		}
+		v, ok = c.GetString(stamp, "outdoor barbecue")
+		if !ok || v.(*Stats).Hits != 42 {
+			t.Fatal("string hit failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New(4096)
+	stamp := Stamp{Gen: 1}
+	key := []byte("outdoor barbecue and some longer key material")
+	c.Put(stamp, key, "value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(stamp, key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

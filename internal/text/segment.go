@@ -1,13 +1,19 @@
 package text
 
-import "strings"
+import (
+	"slices"
+	"strings"
+	"sync"
+)
 
 // Segmenter performs maximum-matching segmentation of a token stream against
 // a lexicon of known (possibly multi-token) phrases. The paper uses exactly
 // this dynamic program to distantly label training sentences with existing
 // primitive concepts (Section 7.2): segments that match the lexicon receive
 // the concept's domain label, everything else is O, and sentences whose
-// matching is ambiguous are discarded.
+// matching is ambiguous are discarded. At serving time the same program
+// backs the search engine's primitive matching, so the DP runs on pooled
+// scratch there (SegmentInto) instead of allocating per query.
 type Segmenter struct {
 	// phrases maps the space-joined phrase to the set of labels it can
 	// carry (a surface form may belong to several domains, which is what
@@ -17,11 +23,30 @@ type Segmenter struct {
 	// in a perfectly matched sentence.
 	stopwords map[string]bool
 	maxLen    int
+	pool      sync.Pool // *segScratch
+}
+
+// segScratch is the per-call working memory of one SegmentInto: the DP
+// table and the byte buffer phrase keys are joined into. Recycled through
+// the segmenter's pool so steady-state queries allocate nothing.
+type segScratch struct {
+	dp  []segState
+	key []byte
+}
+
+// segState is one DP cell: the best (matched tokens, -segments) for a
+// prefix, plus the backpointer (length of the last segment).
+type segState struct {
+	matched, segs int
+	prevLen       int
+	isMatch       bool
 }
 
 // NewSegmenter returns an empty segmenter.
 func NewSegmenter() *Segmenter {
-	return &Segmenter{phrases: make(map[string][]string), stopwords: make(map[string]bool)}
+	s := &Segmenter{phrases: make(map[string][]string), stopwords: make(map[string]bool)}
+	s.pool.New = func() any { return &segScratch{} }
+	return s
 }
 
 // AddStopwords registers function words that may remain unlabeled in a
@@ -60,55 +85,83 @@ type Segment struct {
 // MaxMatch segments tokens greedily longest-match-first via dynamic
 // programming: among segmentations that maximize total matched tokens it
 // prefers fewer segments. Unmatched positions become single-token segments
-// with no labels.
+// with no labels. The returned segments own fresh Labels copies; hot
+// callers should reuse a buffer through SegmentInto instead.
 func (s *Segmenter) MaxMatch(tokens []string) []Segment {
+	segs := s.SegmentInto(nil, tokens)
+	for i := range segs {
+		if segs[i].Labels != nil {
+			segs[i].Labels = append([]string(nil), segs[i].Labels...)
+		}
+	}
+	return segs
+}
+
+// SegmentInto is MaxMatch appending into a caller-owned buffer: the DP
+// table and the phrase-key join buffer come from a pooled scratch, phrase
+// lookups go through the allocation-free map[string(bytes)] form, and the
+// Labels of matched segments are shared read-only views into the lexicon
+// (callers must not modify them — MaxMatch returns copies instead). With a
+// reused dst, steady-state segmentation performs zero allocations, which
+// is what keeps the search engine's voting path allocation-free.
+func (s *Segmenter) SegmentInto(dst []Segment, tokens []string) []Segment {
 	n := len(tokens)
 	if n == 0 {
-		return nil
+		return dst
 	}
-	// dp[i] = (matched tokens, -segments) best for prefix of length i.
-	type state struct {
-		matched, segs int
-		prevLen       int // length of last segment
-		isMatch       bool
-	}
-	dp := make([]state, n+1)
+	sc := s.pool.Get().(*segScratch)
+	defer s.pool.Put(sc)
+	sc.dp = slices.Grow(sc.dp[:0], n+1)[:n+1]
+	dp := sc.dp
+	dp[0] = segState{}
 	for i := 1; i <= n; i++ {
 		// Default: single unmatched token.
-		best := state{matched: dp[i-1].matched, segs: dp[i-1].segs + 1, prevLen: 1, isMatch: false}
+		best := segState{matched: dp[i-1].matched, segs: dp[i-1].segs + 1, prevLen: 1, isMatch: false}
 		maxL := s.maxLen
 		if maxL > i {
 			maxL = i
 		}
 		for l := 1; l <= maxL; l++ {
-			key := strings.Join(tokens[i-l:i], " ")
-			if _, ok := s.phrases[key]; !ok {
+			sc.key = AppendJoin(sc.key[:0], tokens[i-l:i])
+			if _, ok := s.phrases[string(sc.key)]; !ok { // alloc-free map key form
 				continue
 			}
-			cand := state{matched: dp[i-l].matched + l, segs: dp[i-l].segs + 1, prevLen: l, isMatch: true}
+			cand := segState{matched: dp[i-l].matched + l, segs: dp[i-l].segs + 1, prevLen: l, isMatch: true}
 			if cand.matched > best.matched || (cand.matched == best.matched && cand.segs < best.segs) {
 				best = cand
 			}
 		}
 		dp[i] = best
 	}
-	// Reconstruct.
-	var rev []Segment
-	for i := n; i > 0; {
+	// Reconstruct back-to-front directly into dst: dp[n].segs is the exact
+	// segment count, so the tail of dst is sized once and filled in place.
+	base := len(dst)
+	dst = slices.Grow(dst, dp[n].segs)[:base+dp[n].segs]
+	idx := len(dst) - 1
+	for i := n; i > 0; idx-- {
 		st := dp[i]
 		seg := Segment{Start: i - st.prevLen, End: i}
 		if st.isMatch {
-			key := strings.Join(tokens[seg.Start:seg.End], " ")
-			seg.Labels = append([]string(nil), s.phrases[key]...)
+			sc.key = AppendJoin(sc.key[:0], tokens[seg.Start:seg.End])
+			seg.Labels = s.phrases[string(sc.key)] // shared read-only view
 		}
-		rev = append(rev, seg)
+		dst[idx] = seg
 		i -= st.prevLen
 	}
-	out := make([]Segment, len(rev))
-	for i, seg := range rev {
-		out[len(rev)-1-i] = seg
+	return dst
+}
+
+// AppendJoin writes tokens space-separated into dst — the allocation-free
+// form of strings.Join(tokens, " ") the serving paths key lexicon and
+// name-index lookups with.
+func AppendJoin(dst []byte, tokens []string) []byte {
+	for i, tok := range tokens {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, tok...)
 	}
-	return out
+	return dst
 }
 
 // DistantLabel converts a max-match segmentation into IOB tags. Following

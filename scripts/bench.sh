@@ -3,24 +3,42 @@
 #
 # Usage: scripts/bench.sh [benchtime]
 #
-# Runs the BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark),
-# the BenchmarkColdStart{Live,Frozen} pair, the BenchmarkParallelFrozen*
+# Runs the serving benchmark set across the packages that carry it — the
+# BenchmarkFrozenVsLocked* pairs (plus the raw store benchmark), the
+# BenchmarkColdStart{Live,Frozen} pair, the BenchmarkParallelFrozen*
 # concurrent-serving benchmarks, the BenchmarkBatchServe* batch-vs-
-# sequential pairs, and the BenchmarkSearchIntoReused zero-allocation
-# headline, and writes BENCH_core.json at the repo root: one record per
-# benchmark with ns/op, B/op, and allocs/op, so future PRs can diff serving
-# performance (allocation counts included) against this one.
+# sequential pairs, the BenchmarkSearchIntoReused zero-allocation headline,
+# BenchmarkSegmentInto (pooled DP scratch vs allocating MaxMatch), the
+# BenchmarkServeCacheHit/Miss end-to-end query-cache pair, and
+# BenchmarkBatchDecode (fixed-shape scanner vs encoding/json) — and writes
+# BENCH_core.json at the repo root: one record per benchmark with ns/op,
+# B/op, and allocs/op.
+#
+# Before overwriting, the committed BENCH_core.json is kept and a
+# BENCH_delta table (ns/op and allocs/op, old vs new, per benchmark) is
+# printed, so every PR's perf trajectory is visible without manual diffing.
+# The run fails if any required benchmark is missing from the output —
+# renaming or breaking a tracked benchmark cannot slip through silently.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1s}"
 OUT=BENCH_core.json
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+OLD="$(mktemp)"
+trap 'rm -f "$RAW" "$OLD"' EXIT
+
+# Preserve the committed baseline for the delta report.
+if [ -f "$OUT" ]; then
+    cp "$OUT" "$OLD"
+else
+    echo "[]" > "$OLD"
+fi
 
 go test -run '^$' \
-    -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused' \
-    -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+    -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused|SegmentInto|ServeCache|BatchDecode' \
+    -benchmem -benchtime="$BENCHTIME" \
+    . ./internal/text ./cmd/cocoserve | tee "$RAW"
 
 awk '
 BEGIN { print "[" ; first = 1 }
@@ -44,3 +62,48 @@ END { print "\n]" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+
+# Every benchmark the trajectory tracks must be present; a silent drop
+# (renamed benchmark, regex drift, build skip) fails the run.
+for required in \
+    BenchmarkFrozenVsLockedOut BenchmarkFrozenVsLockedRecommend \
+    BenchmarkColdStartFrozen BenchmarkParallelFrozenSearch \
+    BenchmarkBatchServeSearch BenchmarkSearchIntoReused \
+    BenchmarkSegmentInto BenchmarkServeCacheHit BenchmarkServeCacheMiss \
+    BenchmarkBatchDecode; do
+    if ! grep -q "\"name\": \"$required" "$OUT"; then
+        echo "bench.sh: required benchmark $required missing from $OUT" >&2
+        exit 1
+    fi
+done
+
+# BENCH_delta: fresh run vs the committed baseline.
+echo
+echo "BENCH_delta (vs committed $OUT):"
+awk '
+function field(s, key,   i, t) {
+    i = index(s, "\"" key "\": ")
+    if (i == 0) return ""
+    t = substr(s, i + length(key) + 4)
+    sub(/[,}].*/, "", t)
+    gsub(/[\" ]/, "", t)
+    return t
+}
+NR == FNR {
+    n = field($0, "name")
+    if (n != "") { oldns[n] = field($0, "ns_per_op"); oldal[n] = field($0, "allocs_per_op") }
+    next
+}
+{
+    n = field($0, "name")
+    if (n == "") next
+    ns = field($0, "ns_per_op"); al = field($0, "allocs_per_op")
+    if (n in oldns) {
+        pct = (oldns[n] > 0) ? (ns - oldns[n]) / oldns[n] * 100 : 0
+        dal = (al != "" && oldal[n] != "") ? sprintf("%s -> %s", oldal[n], al) : "-"
+        printf "  %-55s %12s -> %10s ns/op  %+7.1f%%   allocs %s\n", n, oldns[n], ns, pct, dal
+    } else {
+        printf "  %-55s %12s -> %10s ns/op      (new)   allocs %s\n", n, "-", ns, al
+    }
+}
+' "$OLD" "$OUT"
