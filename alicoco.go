@@ -12,6 +12,7 @@ package alicoco
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"alicoco/internal/apps/recommend"
 	"alicoco/internal/apps/search"
 	"alicoco/internal/core"
+	"alicoco/internal/faultfs"
 	"alicoco/internal/inference"
 	"alicoco/internal/par"
 	"alicoco/internal/pipeline"
@@ -143,9 +145,11 @@ func Build(opts Options) (*CoCo, error) {
 }
 
 // loadArtifacts reads a frozen snapshot file into a serving-only
-// Artifacts bundle.
+// Artifacts bundle. The open goes through faultfs so chaos tests can
+// inject slow, short, and corrupt reads against the real loader; with no
+// fault armed it is a plain os.Open.
 func loadArtifacts(path string) (*pipeline.Artifacts, error) {
-	f, err := os.Open(path)
+	f, err := faultfs.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -505,6 +509,85 @@ func (s *servingState) recommendOne(viewedItemIDs []int, k int) (Recommendation,
 		Reason: rec.Reason,
 		Card:   ConceptCard{Name: nd.Name, Items: s.itemsOf(rec.Items)},
 	}, true
+}
+
+// Deadline-aware entry points: the *Ctx variants refuse to start (or keep
+// fanning out) engine work once ctx is canceled or past its deadline, so
+// an overloaded server stops burning cycles on responses nobody will wait
+// for. They never return partial results as success — a batch cut short by
+// the deadline reports the context error and the caller must discard the
+// slice. Cancellation is checked between work items, not inside a single
+// engine dispatch (one query's compute is microseconds; interrupting it
+// buys nothing and would thread ctx through the zero-alloc hot path).
+
+// SearchCtx is Search guarded by a context: it returns ctx's error
+// instead of dispatching once the deadline has passed.
+func (c *CoCo) SearchCtx(ctx context.Context, query string, maxItems int) (SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
+	}
+	return c.serving.Load().searchOne(query, maxItems), nil
+}
+
+// RecommendCtx is Recommend guarded by a context.
+func (c *CoCo) RecommendCtx(ctx context.Context, viewedItemIDs []int, k int) (Recommendation, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Recommendation{}, false, err
+	}
+	rec, ok := c.serving.Load().recommendOne(viewedItemIDs, k)
+	return rec, ok, nil
+}
+
+// SearchBatchCtx is SearchBatch guarded by a context: workers stop picking
+// up new queries once ctx is done, and the call reports ctx's error (the
+// partially filled results must not be served).
+func (c *CoCo) SearchBatchCtx(ctx context.Context, queries []string, maxItems int) ([]SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := c.serving.Load()
+	out := make([]SearchResult, len(queries))
+	var stopped atomic.Bool
+	batchFor(len(queries), func(i int) {
+		if stopped.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			stopped.Store(true)
+			return
+		}
+		out[i] = s.searchOne(queries[i], maxItems)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecommendBatchCtx is RecommendBatch guarded by a context, with the same
+// stop-on-deadline contract as SearchBatchCtx.
+func (c *CoCo) RecommendBatchCtx(ctx context.Context, sessions [][]int, k int) ([]BatchRecommendation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := c.serving.Load()
+	out := make([]BatchRecommendation, len(sessions))
+	var stopped atomic.Bool
+	batchFor(len(sessions), func(i int) {
+		if stopped.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			stopped.Store(true)
+			return
+		}
+		rec, ok := s.recommendOne(sessions[i], k)
+		out[i] = BatchRecommendation{Found: ok, Recommendation: rec}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Concept describes one e-commerce concept: its interpreting primitive

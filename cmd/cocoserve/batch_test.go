@@ -145,14 +145,17 @@ func TestBatchValidation(t *testing.T) {
 
 // TestBatchBodySizeCap proves an oversized request body is rejected before
 // decoding can materialize it (the maxBatch element cap cannot be
-// sidestepped by one huge payload).
+// sidestepped by one huge payload), with a clear 413 naming the limit.
 func TestBatchBodySizeCap(t *testing.T) {
 	s := testServer(t)
 	huge := `{"queries": ["` + strings.Repeat("a", maxBatchBody+1024) + `"]}`
-	if code, _ := post(s, "/search/batch", huge); code != http.StatusBadRequest {
-		t.Fatalf("oversized body: status %d, want 400", code)
-	}
-	if code, _ := post(s, "/recommend/batch", huge); code != http.StatusBadRequest {
-		t.Fatalf("oversized body: status %d, want 400", code)
+	for _, url := range []string{"/search/batch", "/recommend/batch"} {
+		code, body := post(s, url, huge)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status %d, want 413", url, code)
+		}
+		if !strings.Contains(body, "too large") {
+			t.Fatalf("%s oversized body: unhelpful error %q", url, body)
+		}
 	}
 }

@@ -1,0 +1,336 @@
+// Request-lifecycle and process-lifecycle policy for cocoserve: admission
+// control with load shedding, per-endpoint deadlines, health/readiness
+// probes, hardened snapshot refresh (stoppable ticker, jittered backoff
+// retries, circuit breaker, quarantine of persistently bad files), and
+// graceful SIGTERM/SIGINT drain. The mechanisms live in
+// internal/resilience; this file is the wiring.
+package main
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"alicoco/internal/resilience"
+)
+
+// serveConfig is the resilience policy knobs; the zero value disables
+// everything (no deadlines, no gate, no breaker), which is what direct
+// &server{} literals in tests get.
+type serveConfig struct {
+	cacheSize int
+
+	// deadline / batchDeadline bound a cache-missing request's lifetime,
+	// queue wait included; 0 means unbounded.
+	deadline      time.Duration
+	batchDeadline time.Duration
+
+	// maxInflight engine dispatches run concurrently, queueDepth more wait
+	// for a slot, the rest shed with 429. 0 maxInflight disables gating.
+	maxInflight int
+	queueDepth  int
+
+	// minBudget is how much of the deadline must remain after admission to
+	// bother dispatching; with less, the request is refused (degraded
+	// cache-hits-only mode) rather than computed for nobody.
+	minBudget time.Duration
+
+	// Reload hardening: retries failed reloads per refresh trigger with
+	// backoffBase..backoffMax jittered exponential delays; breakerThreshold
+	// consecutive failures open the breaker for breakerCooldown; after
+	// quarantineAfter consecutive failures the snapshot file is renamed
+	// aside. breakerThreshold 0 disables the breaker, quarantineAfter 0
+	// disables quarantine.
+	retries          int
+	backoffBase      time.Duration
+	backoffMax       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	quarantineAfter  int
+}
+
+// defaultDrainTimeout bounds how long shutdown waits for in-flight
+// requests; it deliberately exceeds the default batch deadline so a drain
+// never has to abandon an admitted batch.
+const defaultDrainTimeout = 20 * time.Second
+
+func defaultServeConfig() serveConfig {
+	nproc := runtime.GOMAXPROCS(0)
+	return serveConfig{
+		cacheSize:        0, // callers fill in
+		deadline:         2 * time.Second,
+		batchDeadline:    15 * time.Second,
+		maxInflight:      4 * nproc,
+		queueDepth:       16 * nproc,
+		minBudget:        time.Millisecond,
+		retries:          3,
+		backoffBase:      200 * time.Millisecond,
+		backoffMax:       5 * time.Second,
+		breakerThreshold: 5,
+		breakerCooldown:  30 * time.Second,
+		quarantineAfter:  8,
+	}
+}
+
+// handler is the production entry point: the route mux wrapped in panic
+// recovery, so one buggy request costs a 500 and a counter increment
+// instead of a torn-down connection. The wrapper adds no per-request
+// allocations, keeping the cache-hit path's zero-alloc property.
+func (s *server) handler() http.Handler {
+	return resilience.Recover(s.mux(), func(v any) {
+		s.panics.Add(1)
+		log.Printf("panic in handler (recovered): %v\n%s", v, debug.Stack())
+	})
+}
+
+// admit applies the request-lifecycle policy to a request that missed the
+// response caches: attach the endpoint deadline, then take an engine slot
+// from the admission gate (waiting in its bounded queue within the
+// deadline). It answers 429 + Retry-After and reports ok=false when the
+// server is saturated, the wait exhausted the deadline, or too little
+// budget remains to start engine work — cache hits were served before this
+// point, so under overload the server degrades to cache-hits-only instead
+// of collapsing. On ok=true the caller must call release exactly once.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration) (ctx context.Context, release func(), ok bool) {
+	ctx = r.Context()
+	cancel := func() {}
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		cancel()
+		s.shed(w)
+		return nil, nil, false
+	}
+	release = func() {
+		s.gate.Release()
+		cancel()
+	}
+	if !resilience.Budget(ctx, s.cfg.minBudget) {
+		s.degraded.Add(1)
+		release()
+		s.shed(w)
+		return nil, nil, false
+	}
+	return ctx, release, true
+}
+
+// shed answers 429 with a Retry-After hint — the one overload response the
+// server ever gives (never a timeout, never a 500), so clients and load
+// balancers can tell "back off" from "broken".
+func (s *server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+}
+
+// writeBodyError maps a request-body read failure to its status: 413 when
+// the MaxBytesReader cap tripped, 400 for anything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, "request body too large (max "+strconv.FormatInt(mbe.Limit, 10)+" bytes)",
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+}
+
+// handleHealthz is liveness: 200 as long as the process can run a handler
+// at all — it must keep answering through overload, reload storms, and
+// drain, so it touches no gate, no cache, no engine.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 503 while draining (shutdown has begun; load
+// balancers must stop routing here) or while the admission gate is fully
+// saturated (slots and queue exhausted — new work would only be shed).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.gate.Saturated() {
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// tryReload performs one reload attempt with the resilience bookkeeping:
+// outcome fed to the breaker, failure counters, backoff reset on success,
+// and quarantine of a snapshot file that keeps failing validation. Serving
+// keeps the last good snapshot through any number of failures — a reload
+// only ever publishes after full validation.
+func (s *server) tryReload() (source string, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	source, err = s.reload()
+	if err == nil {
+		s.breaker.Success()
+		if s.backoff != nil {
+			s.backoff.Reset()
+		}
+		s.consecReloads = 0
+		return source, nil
+	}
+	s.reloadFailures.Add(1)
+	s.breaker.Failure()
+	s.consecReloads++
+	if s.snapshot != "" && s.cfg.quarantineAfter > 0 && s.consecReloads >= s.cfg.quarantineAfter {
+		s.quarantineSnapshot(err)
+	}
+	return source, err
+}
+
+// quarantineSnapshot renames the persistently failing snapshot file aside
+// (path -> path.quarantined) so the refresh loop stops re-reading a file
+// that will never validate and an operator can inspect it; the last good
+// generation keeps serving. A file that is simply missing is not
+// quarantined — there is nothing to rename and nothing to inspect.
+func (s *server) quarantineSnapshot(cause error) {
+	if _, err := os.Stat(s.snapshot); err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			log.Printf("quarantine: stat %s: %v", s.snapshot, err)
+		}
+		return
+	}
+	dst := s.snapshot + ".quarantined"
+	if err := os.Rename(s.snapshot, dst); err != nil {
+		log.Printf("quarantine: rename %s: %v", s.snapshot, err)
+		return
+	}
+	s.quarantines.Add(1)
+	log.Printf("quarantined snapshot %s -> %s after %d consecutive failures (last: %v)",
+		s.snapshot, dst, s.consecReloads, cause)
+}
+
+// refreshLoop reloads on a stoppable ticker. A failed reload is retried up
+// to cfg.retries times with jittered exponential backoff before waiting
+// for the next tick; while the breaker is open the loop skips attempts
+// entirely instead of hammering a file that keeps failing. The loop exits
+// when done closes (shutdown), which also interrupts any backoff sleep —
+// the goroutine can never leak the way the old time.Tick version did.
+func (s *server) refreshLoop(interval time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		if !s.breaker.Allow() {
+			continue
+		}
+		src, err := s.tryReload()
+		if err == nil {
+			info := s.coco.ServingInfo()
+			log.Printf("periodic reload from %s: %d nodes, %d edges", src, info.Nodes, info.Edges)
+			continue
+		}
+		log.Printf("periodic reload: %v", err)
+		for attempt := 0; attempt < s.cfg.retries; attempt++ {
+			delay := time.Duration(0)
+			if s.backoff != nil {
+				delay = s.backoff.Next()
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if !s.breaker.Allow() {
+				break
+			}
+			s.reloadRetries.Add(1)
+			if _, err = s.tryReload(); err == nil {
+				info := s.coco.ServingInfo()
+				log.Printf("reload retry %d succeeded: %d nodes, %d edges", attempt+1, info.Nodes, info.Edges)
+				break
+			}
+			log.Printf("reload retry %d: %v", attempt+1, err)
+		}
+	}
+}
+
+// serve runs the hardened server lifecycle on addr; see serveListener.
+func serve(s *server, addr string, refresh, drainTimeout time.Duration, sigc <-chan os.Signal) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(s, ln, refresh, drainTimeout, sigc)
+}
+
+// serveListener runs the full server lifecycle on ln: an http.Server with
+// read/write/idle timeouts (a slow or stuck client cannot pin a connection
+// goroutine forever), the stoppable refresh loop, and graceful shutdown —
+// on SIGTERM/SIGINT the server flips /readyz to failing, stops the refresh
+// loop, stops accepting connections, and drains in-flight requests within
+// drainTimeout before returning. sigc overrides the signal source for
+// tests; nil subscribes to the real signals. It returns nil after a clean
+// drain and the underlying error otherwise.
+func serveListener(s *server, ln net.Listener, refresh, drainTimeout time.Duration, sigc <-chan os.Signal) error {
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	if refresh > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.refreshLoop(refresh, done)
+		}()
+	}
+	if sigc == nil {
+		c := make(chan os.Signal, 1)
+		signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(c)
+		sigc = c
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed outright; there is nothing to drain.
+		close(done)
+		wg.Wait()
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v: draining (readiness down, refresh stopped)", sig)
+	}
+	s.draining.Store(true) // /readyz fails from here on
+	close(done)            // refresh loop winds down
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(ctx) // stop accepting, wait for in-flight requests
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return nil
+}

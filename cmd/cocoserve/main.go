@@ -12,6 +12,8 @@
 //	POST /recommend/batch   {"sessions": [[1,2,3], [4,5]], "k": 10}
 //	GET  /hypernyms?name=coat
 //	POST /reload
+//	GET  /healthz   (liveness: 200 while the process can answer at all)
+//	GET  /readyz    (readiness: 503 while draining or saturated)
 //
 // The batch endpoints amortize one HTTP round-trip over a page of queries
 // (up to 256 per request): the whole batch is pinned to a single frozen
@@ -39,6 +41,8 @@
 // Usage: cocoserve [-addr :8080] [-scale small|default]
 //
 //	[-snapshot net.fz] [-refresh 5m] [-cache-size 4096]
+//	[-deadline 2s] [-batch-deadline 15s] [-max-inflight N] [-queue-depth N]
+//	[-drain-timeout 15s]
 //
 // With -snapshot, startup loads the frozen serving snapshot written by
 // `alicoco snapshot save` instead of rebuilding the net — cold start is
@@ -49,6 +53,20 @@
 // state untouched. The swap itself is one atomic pointer store — in-flight
 // and concurrent queries keep answering without downtime; -refresh does
 // the same on a timer.
+//
+// Operational behavior (see PERF.md "Operational behavior" for budgets):
+// handler panics become 500s behind recovery middleware; cache-missing
+// queries carry a per-endpoint deadline and pass an admission gate that
+// sheds with 429 + Retry-After once its bounded wait queue is full (cache
+// hits always answer — the degraded cache-hits-only mode under overload);
+// POST bodies are capped and answer 413 when oversized; /healthz is
+// liveness, /readyz is readiness (fails while draining or saturated);
+// SIGTERM/SIGINT drains in-flight requests within -drain-timeout before
+// exiting; the -refresh loop retries failed reloads with jittered
+// exponential backoff behind a circuit breaker and quarantines (renames) a
+// snapshot file that repeatedly fails validation, keeping the last good
+// generation serving throughout. /stats carries a "resilience" section
+// with all of those counters.
 package main
 
 import (
@@ -60,10 +78,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alicoco"
 	"alicoco/internal/qcache"
+	"alicoco/internal/resilience"
 )
 
 // maxRecommendK caps the k parameter of /recommend so a single request
@@ -105,17 +125,72 @@ type server struct {
 	// lookup, one buffer write. nil disables the layer (-cache-size 0).
 	searchBytes *qcache.Cache
 	recBytes    *qcache.Cache
+
+	// cfg holds the resilience policy; the zero value (direct &server{}
+	// literals in tests) means no deadlines, no gating, no reload
+	// hardening — every resilience type below tolerates staying nil.
+	cfg serveConfig
+
+	// gate admits cache-missing engine dispatches: a bounded number run,
+	// a bounded queue waits, everyone else is shed with 429. Cache hits
+	// bypass it entirely, which is the degraded cache-hits-only mode.
+	gate *resilience.Gate
+
+	// breaker + backoff harden the snapshot reload path: consecutive
+	// reload failures open the breaker (the -refresh loop stops hammering
+	// the broken file) and retries within one refresh trigger space out
+	// with jittered exponential backoff.
+	breaker *resilience.Breaker
+	backoff *resilience.Backoff
+
+	// draining flips when shutdown starts: /readyz fails so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+
+	// Resilience counters surfaced by /stats.
+	panics         atomic.Uint64 // handler panics converted to 500s
+	degraded       atomic.Uint64 // misses refused for lack of deadline budget
+	reloadFailures atomic.Uint64 // reload attempts that returned an error
+	reloadRetries  atomic.Uint64 // backoff retries after a failed reload
+	quarantines    atomic.Uint64 // snapshot files renamed aside
+
+	// reloadMu serializes reload attempts with their failure bookkeeping
+	// (consecFailures drives quarantine); the facade's offline lock only
+	// serializes the swap itself.
+	reloadMu      sync.Mutex
+	consecReloads int // consecutive reload failures, guarded by reloadMu
+
+	// hook, when set before serving starts, is called at the top of the
+	// query handlers ("search", "recommend", ...) and again after
+	// admission ("search.engine", ...) — the fault-injection seam chaos
+	// tests use to panic or stall inside a request.
+	hook func(op string)
 }
 
 // newServer wires a server around a facade with the given per-cache entry
-// budget (the facade's engine-level caches are resized to match).
+// budget (the facade's engine-level caches are resized to match) and the
+// default resilience policy.
 func newServer(coco *alicoco.CoCo, snapshot string, cacheSize int) *server {
-	coco.SetQueryCacheCapacity(cacheSize)
-	s := &server{coco: coco, snapshot: snapshot}
-	if cacheSize > 0 {
-		s.searchBytes = qcache.New(cacheSize)
-		s.recBytes = qcache.New(cacheSize)
+	cfg := defaultServeConfig()
+	cfg.cacheSize = cacheSize
+	return newServerCfg(coco, snapshot, cfg)
+}
+
+// newServerCfg is newServer with an explicit resilience policy.
+func newServerCfg(coco *alicoco.CoCo, snapshot string, cfg serveConfig) *server {
+	coco.SetQueryCacheCapacity(cfg.cacheSize)
+	s := &server{coco: coco, snapshot: snapshot, cfg: cfg}
+	if cfg.cacheSize > 0 {
+		s.searchBytes = qcache.New(cfg.cacheSize)
+		s.recBytes = qcache.New(cfg.cacheSize)
 	}
+	if cfg.maxInflight > 0 {
+		s.gate = resilience.NewGate(cfg.maxInflight, cfg.queueDepth)
+	}
+	if cfg.breakerThreshold > 0 {
+		s.breaker = resilience.NewBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
+	}
+	s.backoff = resilience.NewBackoff(cfg.backoffBase, cfg.backoffMax, time.Now().UnixNano())
 	return s
 }
 
@@ -177,11 +252,58 @@ func writeJSONBytes(w http.ResponseWriter, b []byte) {
 }
 
 // statsResponse is the /stats payload: the Table-2 net shape plus the
-// serving snapshot's operational metadata and the query-cache counters.
+// serving snapshot's operational metadata, the query-cache counters, and
+// the resilience counters.
 type statsResponse struct {
 	alicoco.Stats
-	Snapshot snapshotInfo `json:"snapshot"`
-	Cache    cacheInfo    `json:"cache"`
+	Snapshot   snapshotInfo   `json:"snapshot"`
+	Cache      cacheInfo      `json:"cache"`
+	Resilience resilienceInfo `json:"resilience"`
+}
+
+// resilienceInfo is the /stats "resilience" section: everything a load
+// harness or an operator needs to see the server's protective machinery
+// working — admission gate state, shed and panic counters, and the reload
+// pipeline's failure/retry/breaker/quarantine state.
+type resilienceInfo struct {
+	Admission        resilience.GateStats `json:"admission"`
+	PanicsRecovered  uint64               `json:"panics_recovered"`
+	DegradedRefusals uint64               `json:"degraded_refusals"`
+	Draining         bool                 `json:"draining"`
+	Reload           reloadInfo           `json:"reload"`
+}
+
+type reloadInfo struct {
+	Failures            uint64                  `json:"failures"`
+	ConsecutiveFailures int                     `json:"consecutive_failures"`
+	Retries             uint64                  `json:"retries"`
+	BackoffAttempt      int                     `json:"backoff_attempt"`
+	Quarantined         uint64                  `json:"quarantined"`
+	Breaker             resilience.BreakerStats `json:"breaker"`
+}
+
+func (s *server) resilienceInfo() resilienceInfo {
+	s.reloadMu.Lock()
+	consec := s.consecReloads
+	s.reloadMu.Unlock()
+	backoffAttempt := 0
+	if s.backoff != nil {
+		backoffAttempt = s.backoff.Attempt()
+	}
+	return resilienceInfo{
+		Admission:        s.gate.Stats(),
+		PanicsRecovered:  s.panics.Load(),
+		DegradedRefusals: s.degraded.Load(),
+		Draining:         s.draining.Load(),
+		Reload: reloadInfo{
+			Failures:            s.reloadFailures.Load(),
+			ConsecutiveFailures: consec,
+			Retries:             s.reloadRetries.Load(),
+			BackoffAttempt:      backoffAttempt,
+			Quarantined:         s.quarantines.Load(),
+			Breaker:             s.breaker.Stats(),
+		},
+	}
 }
 
 // cacheInfo breaks the hit/miss/eviction counters down by cache layer:
@@ -229,10 +351,18 @@ func (s *server) snapshotInfo() snapshotInfo {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, statsResponse{Stats: s.coco.Stats(), Snapshot: s.snapshotInfo(), Cache: s.cacheInfo()})
+	s.writeJSON(w, statsResponse{
+		Stats:      s.coco.Stats(),
+		Snapshot:   s.snapshotInfo(),
+		Cache:      s.cacheInfo(),
+		Resilience: s.resilienceInfo(),
+	})
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if h := s.hook; h != nil {
+		h("search")
+	}
 	// The stamp is read before anything else: a response computed after a
 	// concurrent reload can only be newer than it, never staler.
 	raw := r.URL.RawQuery
@@ -246,7 +376,20 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	s.writeJSONCaching(w, s.coco.Search(q, defaultSearchItems), s.searchBytes, stamp, raw)
+	ctx, release, ok := s.admit(w, r, s.cfg.deadline)
+	if !ok {
+		return
+	}
+	defer release()
+	if h := s.hook; h != nil {
+		h("search.engine")
+	}
+	res, err := s.coco.SearchCtx(ctx, q, defaultSearchItems)
+	if err != nil {
+		s.shed(w)
+		return
+	}
+	s.writeJSONCaching(w, res, s.searchBytes, stamp, raw)
 }
 
 // handleSearchBatch fans a page of queries across workers against one
@@ -257,11 +400,14 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if h := s.hook; h != nil {
+		h("search.batch")
+	}
 	sc := getScratch()
 	defer putScratch(sc)
 	var err error
 	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		writeBodyError(w, err)
 		return
 	}
 	queries, maxItems, err := parseSearchBatchBody(sc)
@@ -288,7 +434,17 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	} else if maxItems > maxSearchItems {
 		maxItems = maxSearchItems
 	}
-	s.writeJSON(w, map[string]any{"results": s.coco.SearchBatch(queries, maxItems)})
+	ctx, release, ok := s.admit(w, r, s.cfg.batchDeadline)
+	if !ok {
+		return
+	}
+	defer release()
+	results, err := s.coco.SearchBatchCtx(ctx, queries, maxItems)
+	if err != nil {
+		s.shed(w)
+		return
+	}
+	s.writeJSON(w, map[string]any{"results": results})
 }
 
 func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +462,9 @@ func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if h := s.hook; h != nil {
+		h("recommend")
+	}
 	raw := r.URL.RawQuery
 	stamp := s.coco.CacheStamp()
 	if v, ok := s.recBytes.GetString(stamp, raw); ok {
@@ -333,7 +492,19 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	rec, ok := s.coco.Recommend(ids, k)
+	ctx, release, admitted := s.admit(w, r, s.cfg.deadline)
+	if !admitted {
+		return
+	}
+	defer release()
+	if h := s.hook; h != nil {
+		h("recommend.engine")
+	}
+	rec, ok, err := s.coco.RecommendCtx(ctx, ids, k)
+	if err != nil {
+		s.shed(w)
+		return
+	}
 	if !ok {
 		http.Error(w, "no recommendation for these items", http.StatusNotFound)
 		return
@@ -350,11 +521,14 @@ func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if h := s.hook; h != nil {
+		h("recommend.batch")
+	}
 	sc := getScratch()
 	defer putScratch(sc)
 	var err error
 	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		writeBodyError(w, err)
 		return
 	}
 	sessions, k, err := parseRecommendBatchBody(sc)
@@ -383,7 +557,17 @@ func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	} else if k > maxRecommendK {
 		k = maxRecommendK
 	}
-	s.writeJSON(w, map[string]any{"results": s.coco.RecommendBatch(sessions, k)})
+	ctx, release, ok := s.admit(w, r, s.cfg.batchDeadline)
+	if !ok {
+		return
+	}
+	defer release()
+	results, err := s.coco.RecommendBatchCtx(ctx, sessions, k)
+	if err != nil {
+		s.shed(w)
+		return
+	}
+	s.writeJSON(w, map[string]any{"results": results})
 }
 
 func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
@@ -402,7 +586,10 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	source, err := s.reload()
+	// A manual reload bypasses the breaker's Allow (an operator poking the
+	// endpoint is the half-open probe), but its outcome still feeds the
+	// breaker — a good publish re-closes it for the -refresh loop.
+	source, err := s.tryReload()
 	if err != nil {
 		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -431,6 +618,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
 	mux.HandleFunc("/hypernyms", s.handleHypernyms)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -441,6 +630,17 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "if > 0, reload the snapshot (or refreeze) on this interval")
 	cacheSize := flag.Int("cache-size", alicoco.DefaultQueryCacheCapacity,
 		"query cache capacity in entries per cache layer (0 disables caching)")
+	cfg := defaultServeConfig()
+	deadline := flag.Duration("deadline", cfg.deadline,
+		"deadline for a single cache-missing query (0 disables)")
+	batchDeadline := flag.Duration("batch-deadline", cfg.batchDeadline,
+		"deadline for a batch request (0 disables)")
+	maxInflight := flag.Int("max-inflight", cfg.maxInflight,
+		"cache-missing engine dispatches allowed to run at once (0 disables admission control)")
+	queueDepth := flag.Int("queue-depth", cfg.queueDepth,
+		"requests allowed to wait for an engine slot before shedding with 429")
+	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout,
+		"how long shutdown waits for in-flight requests before giving up")
 	flag.Parse()
 
 	var coco *alicoco.CoCo
@@ -467,24 +667,20 @@ func main() {
 	// request handling never contends with anything — including reloads.
 	info := coco.ServingInfo()
 	log.Printf("serving from frozen snapshot: %d nodes, %d edges (source %s)", info.Nodes, info.Edges, info.Source)
-	s := newServer(coco, *snapshot, *cacheSize)
+	cfg.cacheSize = *cacheSize
+	cfg.deadline = *deadline
+	cfg.batchDeadline = *batchDeadline
+	cfg.maxInflight = *maxInflight
+	cfg.queueDepth = *queueDepth
+	s := newServerCfg(coco, *snapshot, cfg)
 	if *cacheSize > 0 {
 		log.Printf("query caches enabled: %d entries per layer (result + encoded-bytes)", *cacheSize)
 	} else {
 		log.Printf("query caches disabled (-cache-size 0)")
 	}
-	if *refresh > 0 {
-		go func() {
-			for range time.Tick(*refresh) {
-				if src, err := s.reload(); err != nil {
-					log.Printf("periodic reload: %v", err)
-				} else {
-					info := coco.ServingInfo()
-					log.Printf("periodic reload from %s: %d nodes, %d edges", src, info.Nodes, info.Edges)
-				}
-			}
-		}()
-	}
 	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	if err := serve(s, *addr, *refresh, *drainTimeout, nil); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
 }

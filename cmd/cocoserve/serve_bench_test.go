@@ -73,11 +73,13 @@ func benchServers(b *testing.B) (hit, miss *server) {
 	return serveHit, serveMiss
 }
 
-// benchEndpoint drives one URL through a server's mux with a reused
-// request and recorder (the handlers never mutate either).
+// benchEndpoint drives one URL through the full production handler —
+// panic-recovery middleware, routing, admission — with a reused request
+// and recorder (the handlers never mutate either), so the numbers include
+// whatever the resilience layer costs per request.
 func benchEndpoint(b *testing.B, s *server, url string) {
 	b.Helper()
-	mux := s.mux()
+	mux := s.handler()
 	req := httptest.NewRequest(http.MethodGet, url, nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, req) // warm caches, pools, and the recorder body

@@ -1,0 +1,130 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readAll(t *testing.T, path string) ([]byte, error) {
+	t.Helper()
+	f, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func TestPassthroughWhenDisarmed(t *testing.T) {
+	want := []byte("hello snapshot world")
+	path := writeTemp(t, "net.fz", want)
+	got, err := readAll(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestOpenErr(t *testing.T) {
+	path := writeTemp(t, "net.fz", []byte("data"))
+	boom := errors.New("disk on fire")
+	restore := Inject(Fault{OpenErr: boom})
+	defer restore()
+	if _, err := Open(path); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want injected open error", err)
+	}
+	restore()
+	if _, err := readAll(t, path); err != nil {
+		t.Fatalf("restore did not disarm: %v", err)
+	}
+}
+
+func TestFailAfterTruncatesStream(t *testing.T) {
+	want := bytes.Repeat([]byte{0xAB}, 1024)
+	path := writeTemp(t, "net.fz", want)
+	defer Inject(Fault{FailAfter: 100})()
+	got, err := readAll(t, path)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v, want ErrInjected", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d bytes before failure, want 100", len(got))
+	}
+}
+
+func TestFailAfterCustomError(t *testing.T) {
+	path := writeTemp(t, "net.fz", make([]byte, 64))
+	short := errors.New("connection reset")
+	defer Inject(Fault{FailAfter: 10, ReadErr: short})()
+	if _, err := readAll(t, path); !errors.Is(err, short) {
+		t.Fatalf("err %v, want custom read error", err)
+	}
+}
+
+func TestCorruptAtFlipsExactlyOneByte(t *testing.T) {
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	path := writeTemp(t, "net.fz", want)
+	defer Inject(Fault{CorruptAt: 1234})()
+	got, err := readAll(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		switch {
+		case i == 1234 && got[i] != want[i]^0xFF:
+			t.Fatalf("byte %d not flipped: %x", i, got[i])
+		case i != 1234 && got[i] != want[i]:
+			t.Fatalf("byte %d corrupted unexpectedly", i)
+		}
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	matched := writeTemp(t, "live.fz", []byte("abcdef"))
+	other := writeTemp(t, "other.bin", []byte("abcdef"))
+	defer Inject(Fault{PathContains: "live.fz", FailAfter: 2})()
+	if _, err := readAll(t, matched); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching file not faulted: %v", err)
+	}
+	if got, err := readAll(t, other); err != nil || string(got) != "abcdef" {
+		t.Fatalf("non-matching file faulted: %q, %v", got, err)
+	}
+}
+
+func TestDelaySlowsReads(t *testing.T) {
+	path := writeTemp(t, "net.fz", make([]byte, 10))
+	defer Inject(Fault{Delay: 30 * time.Millisecond})()
+	before := Injected()
+	start := time.Now()
+	if _, err := readAll(t, path); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("read finished in %v despite injected delay", elapsed)
+	}
+	if Injected() == before {
+		t.Fatal("injected counter did not move")
+	}
+}

@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated reports that both the running slots and the wait queue are
+// full: the caller should shed the request (HTTP 429 + Retry-After), not
+// queue it — unbounded queuing under overload only converts saturation
+// into timeouts.
+var ErrSaturated = errors.New("resilience: admission queue saturated")
+
+// Gate is an admission controller: up to capacity callers hold a slot at
+// once, up to queueDepth more wait for one inside the caller's deadline,
+// and everything beyond that is shed immediately. Acquire on the
+// uncontended path is one channel send — no allocation, no lock.
+type Gate struct {
+	slots chan struct{} // buffered to capacity; a held slot is a buffered element
+	queue chan struct{} // buffered to queueDepth; tokens held while waiting
+
+	inflight atomic.Int64
+	waiting  atomic.Int64
+	shed     atomic.Uint64
+	admitted atomic.Uint64
+}
+
+// NewGate returns a gate admitting capacity concurrent holders with a
+// bounded wait queue of queueDepth behind them.
+func NewGate(capacity, queueDepth int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Gate{
+		slots: make(chan struct{}, capacity),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// Acquire admits the caller, waits for a slot in the bounded queue, or
+// sheds. It returns nil when a slot is held (the caller must Release),
+// ErrSaturated when slots and queue are both full, and ctx.Err() when the
+// deadline expires or is canceled while queued. A nil gate admits
+// everything.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	// All slots busy: take a queue token or shed.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.shed.Add(1)
+		return ErrSaturated
+	}
+	g.waiting.Add(1)
+	defer func() {
+		g.waiting.Add(-1)
+		<-g.queue
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		g.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		g.shed.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	g.inflight.Add(-1)
+	<-g.slots
+}
+
+// Saturated reports whether an Acquire right now would shed: every slot
+// held and every queue position taken. A nil gate is never saturated.
+func (g *Gate) Saturated() bool {
+	if g == nil {
+		return false
+	}
+	return len(g.slots) == cap(g.slots) && len(g.queue) == cap(g.queue)
+}
+
+// GateStats is a point-in-time snapshot of the gate for /stats scraping.
+type GateStats struct {
+	Capacity   int    `json:"capacity"`
+	QueueDepth int    `json:"queue_depth"`
+	InFlight   int64  `json:"in_flight"`
+	Waiting    int64  `json:"waiting"`
+	Admitted   uint64 `json:"admitted"`
+	Shed       uint64 `json:"shed"`
+}
+
+// Stats snapshots the gate's counters; a nil gate reports zeros.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Capacity:   cap(g.slots),
+		QueueDepth: cap(g.queue),
+		InFlight:   g.inflight.Load(),
+		Waiting:    g.waiting.Load(),
+		Admitted:   g.admitted.Load(),
+		Shed:       g.shed.Load(),
+	}
+}

@@ -1,0 +1,36 @@
+package resilience
+
+import (
+	"net/http"
+)
+
+// Recover wraps next so a handler panic is converted into a 500 response
+// and an onPanic callback instead of net/http killing the connection (and
+// taking keep-alive request pipelines down with it). http.ErrAbortHandler
+// is re-panicked — it is the sanctioned way to abort a response and must
+// keep its net/http semantics. The wrapper costs nothing per request on
+// the non-panicking path: one deferred recover, no allocation.
+//
+// If the handler had already written part of a response body before
+// panicking, the 500 cannot be delivered cleanly (headers are out); the
+// client then sees a truncated body, which is still detectable via
+// Content-Length mismatch. Handlers in this codebase buffer their
+// encoding before writing, so that window is effectively empty.
+func Recover(next http.Handler, onPanic func(v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v)
+			}
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,35 @@
+// Package resilience holds the serving tier's production-hardening
+// primitives: an admission gate with a bounded wait queue (shed instead of
+// collapse), a consecutive-failure circuit breaker (stop hammering a
+// broken dependency), exponential backoff with jitter (retry without
+// thundering), panic-recovery middleware (a handler bug costs one 500, not
+// a connection), and deadline-budget helpers.
+//
+// Everything here is allocation-free on the success path and safe for
+// concurrent use; the types are also nil-tolerant — calling methods on a
+// nil *Gate or *Breaker is a no-op policy (admit everything, never open) —
+// so callers can wire them in unconditionally and leave them unset in
+// tests that don't care.
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Budget reports whether ctx still has at least need of runway before its
+// deadline. A context with no deadline always has budget; an already
+// canceled or expired one never does. Serving paths use this to refuse
+// starting engine work they cannot finish in time (degrading to
+// cache-hits-only instead of burning a saturated server's cycles on
+// responses nobody will wait for).
+func Budget(ctx context.Context, need time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return time.Until(dl) >= need
+}
