@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"runtime"
 	"strings"
@@ -75,6 +76,12 @@ type CoCo struct {
 	serving    atomic.Pointer[servingState]
 	generation atomic.Uint64 // counts published serving snapshots
 
+	// shardCount is the partition size live refreezes maintain: a CoCo
+	// built with BuildSharded re-partitions into the same number of shards
+	// on every refreeze (inference, Refreeze). 0 or 1 means unsharded.
+	// Written only at construction, before the CoCo escapes.
+	shardCount int
+
 	// The query caches outlive individual serving snapshots: every entry
 	// is stamped with the generation (and checksum) of the snapshot it was
 	// computed from, so publishing a new snapshot — reload, refreeze,
@@ -93,17 +100,59 @@ func newCoCo() *CoCo {
 	}
 }
 
-// servingState bundles a frozen snapshot with the engines and item index
-// built on it, so everything a query touches swaps together atomically.
+// servingReader is the store surface a serving state queries: the full
+// Reader plus snapshot statistics. Both the single frozen net and the
+// sharded set satisfy it.
+type servingReader interface {
+	core.Reader
+	ComputeStats() core.Stats
+}
+
+// servingState bundles a frozen store with the engines and item index
+// built on it, so everything a query touches swaps together atomically. A
+// request loads the pointer once and keeps it for its whole lifetime —
+// that per-request pinning is what makes a concurrent reload (of the whole
+// net or of a single shard) invisible mid-request: the old state, with all
+// its shard pointers, stays reachable until the last pinned request
+// finishes.
 type servingState struct {
-	frozen     *core.FrozenNet
+	reader servingReader
+
+	// Exactly one of the two stores below backs reader. frozen is the
+	// whole net (or the sole shard of an N=1 partition, which keeps N=1 on
+	// the unsharded fast path); shards is the scatter-gather set for N>1.
+	frozen *core.FrozenNet
+	shards *core.ShardSet
+
+	// Sharded-snapshot bookkeeping: where the shards were loaded from and
+	// the manifest they were verified against (nil for in-process freezes),
+	// plus per-shard serving metadata. shardInfo is set whenever the state
+	// was published from a partition, even an in-memory one.
+	shardDir  string
+	manifest  *pipeline.ShardManifest
+	shardInfo []ShardServingInfo
+
 	search     *search.Engine
 	rec        *recommend.Engine
 	items      []Item               // world order, for deterministic listings
 	itemByNode map[core.NodeID]Item // net node -> facade item
 	itemNode   map[int]core.NodeID  // world item ID -> net node
-	stamp      qcache.Stamp         // generation+checksum cache stamp of this snapshot
+	stamp      qcache.Stamp         // cache stamp of this snapshot (see stamps below)
 	info       ServingInfo
+}
+
+// ShardServingInfo is the per-shard slice of ServingInfo: which file
+// content the shard serves and since when. Generation/PublishedAt are
+// carried over across republishes that reuse the shard's in-memory
+// pointer, so they describe when this shard's content last changed — not
+// when the set around it was reassembled.
+type ShardServingInfo struct {
+	Index       int       // shard position in the partition
+	Checksum    string    // CRC-32 (hex) of the shard file; "" for in-process freezes
+	Generation  uint64    // facade generation at which this shard's content was published
+	PublishedAt time.Time // when this shard's content went live
+	Nodes       int
+	Edges       int
 }
 
 // ServingInfo identifies the snapshot queries are currently served from:
@@ -112,12 +161,13 @@ type servingState struct {
 // live — the operational metadata a fleet needs to tell which net version
 // each replica is answering with.
 type ServingInfo struct {
-	Source      string    // "build", "snapshot", or "refreeze"
+	Source      string    // "build", "snapshot", "shards", or "refreeze"
 	Generation  uint64    // increments with every published serving state
-	Checksum    string    // CRC-32 (hex) of the loaded snapshot file; "" for in-process freezes
+	Checksum    string    // CRC-32 (hex) of the loaded snapshot content; "" for in-process freezes
 	PublishedAt time.Time // when this serving state was swapped in
 	Nodes       int
 	Edges       int
+	Shards      int // partition size; 0 when serving an unpartitioned net
 }
 
 // ServingInfo describes the currently published serving snapshot.
@@ -219,18 +269,166 @@ func (c *CoCo) ReloadFrozen(path string) error {
 	return nil
 }
 
-// Refreeze republishes the live net's current state to the serving engines.
-// It errors on a snapshot-loaded CoCo, which has no live net to freeze.
+// Refreeze republishes the live net's current state to the serving engines,
+// preserving the configured partition (a BuildSharded CoCo re-freezes all
+// shards). It errors on a snapshot-loaded CoCo, which has no live net.
 func (c *CoCo) Refreeze() error {
 	c.offline.Lock()
 	defer c.offline.Unlock()
-	arts := c.arts.Load()
-	if arts.Net == nil {
+	if c.arts.Load().Net == nil {
 		return errors.New("alicoco: refreeze: snapshot-loaded net has no live store")
 	}
-	arts.Refreeze()
-	c.publish(arts, "refreeze")
-	return nil
+	return c.refreeze()
+}
+
+// BuildSharded is Build with the frozen store partitioned into shards:
+// point lookups route to the owning shard, traversals and search
+// scatter-gather across the set, and each shard can be re-frozen and
+// reloaded independently. Every subsequent refreeze (inference, Refreeze)
+// maintains the same partition. shards <= 1 behaves exactly like Build.
+func BuildSharded(opts Options, shards int) (*CoCo, error) {
+	c, err := Build(opts)
+	if err != nil || shards <= 1 {
+		return c, err
+	}
+	c.shardCount = shards
+	arts := c.arts.Load()
+	arts.Shards = arts.Net.FreezeShards(shards)
+	arts.Frozen = nil // the partition is now the serving truth; see SaveShards
+	return c, c.publishShards(arts, "build", "", nil)
+}
+
+// NumShards reports the partition size of the published serving state;
+// 0 means serving is unpartitioned.
+func (c *CoCo) NumShards() int { return c.serving.Load().info.Shards }
+
+// ShardInfos describes each shard of the published serving partition —
+// nil when serving is unpartitioned. The slice is a copy.
+func (c *CoCo) ShardInfos() []ShardServingInfo {
+	return append([]ShardServingInfo(nil), c.serving.Load().shardInfo...)
+}
+
+// SaveShards partitions the live net into count shards and writes them as
+// a sharded snapshot directory — a manifest naming per-shard files plus
+// their checksums — that LoadShardedFrozen and ReloadShards restore.
+// Shards are frozen and written in parallel; every file lands via a
+// temp-and-rename, and the manifest is written last as the commit point.
+// It errors on a snapshot-loaded CoCo (no live net to partition).
+func (c *CoCo) SaveShards(dir string, count int) (*pipeline.ShardManifest, error) {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	return c.arts.Load().SaveShards(dir, count)
+}
+
+// LoadShardedFrozen builds a CoCo from a sharded snapshot directory
+// written by SaveShards. Shards load and verify in parallel; the CoCo
+// serves every query path, scatter-gathering across the partition.
+func LoadShardedFrozen(dir string) (*CoCo, error) {
+	arts, man, err := pipeline.LoadShards(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := newCoCo()
+	c.arts.Store(arts)
+	if err := c.publishShards(arts, "shards", dir, man); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReloadShards re-reads a sharded snapshot directory and hot-swaps the
+// changed parts into serving. It diffs the on-disk manifest against the
+// partition currently served: shards whose checksums match keep their
+// in-memory form (and, via the content stamp, their cache entries); only
+// changed shards are read from disk. It returns how many shards were
+// (re)loaded — 0 means the directory holds exactly what is already being
+// served, and nothing is republished at all. A partition-shape change
+// (shard count, stride, node total, or serving metadata) falls back to a
+// full load. Queries running concurrently keep answering from the old
+// partition until the single atomic swap, so no request ever sees a mix
+// of generations.
+func (c *CoCo) ReloadShards(dir string) (int, error) {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	man, err := pipeline.ReadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	prev := c.serving.Load()
+	if prev == nil || prev.manifest == nil || prev.shardDir != dir || !sameShape(prev.manifest, man) {
+		arts, man, err := pipeline.LoadShards(dir)
+		if err != nil {
+			return 0, err
+		}
+		c.arts.Store(arts)
+		return man.NumShards(), c.publishShards(arts, "shards", dir, man)
+	}
+	shards := make([]*core.FrozenNet, man.NumShards())
+	changed := 0
+	for i := range shards {
+		if man.Shards[i].Checksum == prev.manifest.Shards[i].Checksum {
+			shards[i] = prev.shards.Shard(i)
+			continue
+		}
+		sh, err := pipeline.LoadShard(dir, man, i)
+		if err != nil {
+			return 0, err
+		}
+		shards[i] = sh
+		changed++
+	}
+	if changed == 0 {
+		return 0, nil
+	}
+	arts := *c.arts.Load()
+	arts.Shards = shards
+	c.arts.Store(&arts)
+	return changed, c.publishShards(&arts, "shards", dir, man)
+}
+
+// ReloadShard force-reloads one shard from a sharded snapshot directory,
+// regardless of whether its checksum changed; the rest of the partition
+// keeps serving its in-memory shards. The manifest is re-read first so
+// the shard is verified against the directory's current commit point; if
+// the partition shape on disk no longer matches serving, the reload is
+// refused (use ReloadShards, which handles shape changes).
+func (c *CoCo) ReloadShard(dir string, i int) error {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	prev := c.serving.Load()
+	if prev == nil || prev.manifest == nil {
+		return errors.New("alicoco: reload shard: serving is not backed by a sharded snapshot")
+	}
+	man, err := pipeline.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= man.NumShards() {
+		return fmt.Errorf("alicoco: reload shard: index %d out of range [0,%d)", i, man.NumShards())
+	}
+	if !sameShape(prev.manifest, man) {
+		return errors.New("alicoco: reload shard: partition shape on disk changed; use ReloadShards")
+	}
+	sh, err := pipeline.LoadShard(dir, man, i)
+	if err != nil {
+		return err
+	}
+	shards := append([]*core.FrozenNet(nil), prev.shards.Shards()...)
+	shards[i] = sh
+	// Publish under an *effective* manifest: the served manifest with only
+	// entry i replaced. The directory's manifest may already describe newer
+	// content for shards this reload did not touch (an operator rolling the
+	// partition one shard at a time); recording it verbatim would stamp the
+	// query caches with content that is not being served yet and make a
+	// later ReloadShards diff believe those shards are already current.
+	eff := *prev.manifest
+	eff.Shards = append([]pipeline.ShardEntry(nil), prev.manifest.Shards...)
+	eff.TotalEdges += man.Shards[i].Edges - eff.Shards[i].Edges
+	eff.Shards[i] = man.Shards[i]
+	arts := *c.arts.Load()
+	arts.Shards = shards
+	c.arts.Store(&arts)
+	return c.publishShards(&arts, "shards", dir, &eff)
 }
 
 func buildItemIndex(meta *pipeline.ServingMeta) ([]Item, map[core.NodeID]Item, map[int]core.NodeID) {
@@ -263,6 +461,7 @@ func (c *CoCo) publish(arts *pipeline.Artifacts, source string) {
 	re := recommend.NewEngine(frozen)
 	re.UseCache(c.recCache, stamp)
 	c.serving.Store(&servingState{
+		reader:     frozen,
 		frozen:     frozen,
 		search:     se,
 		rec:        re,
@@ -279,6 +478,116 @@ func (c *CoCo) publish(arts *pipeline.Artifacts, source string) {
 			Edges:       frozen.NumEdges(),
 		},
 	})
+}
+
+// shardContentStamp derives the cache stamp of a disk-loaded shard
+// partition from the manifest's content checksums (meta plus every shard)
+// instead of from the publish counter: republishing the same bytes — a
+// no-op ReloadShards, or a reload that pulled one changed shard and kept
+// the rest — yields the same stamp, so cache entries computed from
+// unchanged content stay live across the swap. Bit 63 of Gen is set so a
+// content stamp can never collide with a counter stamp.
+func shardContentStamp(man *pipeline.ShardManifest) qcache.Stamp {
+	buf := make([]byte, 0, 4*(len(man.Shards)+1))
+	put := func(v uint32) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	put(man.MetaChecksum)
+	for _, e := range man.Shards {
+		put(e.Checksum)
+	}
+	h := uint64(14695981039346656037) // FNV-1a 64
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return qcache.Stamp{Gen: h | 1<<63, Sum: crc32.ChecksumIEEE(buf)}
+}
+
+// sameShape reports whether two manifests describe the same partition
+// (count, stride, node total) of the same serving metadata — the
+// precondition for reusing in-memory shards across a reload.
+func sameShape(a, b *pipeline.ShardManifest) bool {
+	return a.NumShards() == b.NumShards() && a.Stride == b.Stride &&
+		a.TotalNodes == b.TotalNodes && a.MetaChecksum == b.MetaChecksum
+}
+
+// publishShards swaps in a serving state backed by a shard partition
+// (arts.Shards). For a single-shard partition the engines run directly on
+// the sole shard — a whole frozen net — so N=1 stays on the unpartitioned
+// fast path; for N>1 they run on the scatter-gather ShardSet. dir and man
+// identify the sharded snapshot directory the partition was verified
+// against; both are zero for in-process freezes.
+func (c *CoCo) publishShards(arts *pipeline.Artifacts, source, dir string, man *pipeline.ShardManifest) error {
+	set, err := core.NewShardSet(arts.Shards)
+	if err != nil {
+		return err
+	}
+	var reader servingReader = set
+	var frozen *core.FrozenNet
+	if set.NumShards() == 1 {
+		frozen = set.Shard(0)
+		reader = frozen
+	}
+	items, rev, fwd := buildItemIndex(arts.Serving)
+	gen := c.generation.Add(1)
+	stamp := qcache.Stamp{Gen: gen}
+	checksum := ""
+	if man != nil {
+		stamp = shardContentStamp(man)
+		checksum = fmt.Sprintf("%08x", stamp.Sum)
+	}
+	prev := c.serving.Load()
+	now := time.Now()
+	shardInfo := make([]ShardServingInfo, set.NumShards())
+	for i := range shardInfo {
+		sh := set.Shard(i)
+		si := ShardServingInfo{
+			Index:       i,
+			Generation:  gen,
+			PublishedAt: now,
+			Nodes:       sh.NumNodes(),
+			Edges:       sh.NumEdges(),
+		}
+		if man != nil {
+			si.Checksum = fmt.Sprintf("%08x", man.Shards[i].Checksum)
+		}
+		// A shard whose in-memory pointer survived the republish did not
+		// change content; keep its original publication metadata.
+		if prev != nil && prev.shards != nil && i < prev.shards.NumShards() && prev.shards.Shard(i) == sh {
+			si.Generation = prev.shardInfo[i].Generation
+			si.PublishedAt = prev.shardInfo[i].PublishedAt
+		}
+		shardInfo[i] = si
+	}
+	se := search.NewEngine(reader, arts.Serving.Stopwords)
+	se.UseCache(c.searchCache, stamp)
+	re := recommend.NewEngine(reader)
+	re.UseCache(c.recCache, stamp)
+	c.serving.Store(&servingState{
+		reader:     reader,
+		frozen:     frozen,
+		shards:     set,
+		shardDir:   dir,
+		manifest:   man,
+		shardInfo:  shardInfo,
+		search:     se,
+		rec:        re,
+		items:      items,
+		itemByNode: rev,
+		itemNode:   fwd,
+		stamp:      stamp,
+		info: ServingInfo{
+			Source:      source,
+			Generation:  gen,
+			Checksum:    checksum,
+			PublishedAt: now,
+			Nodes:       set.NumNodes(),
+			Edges:       set.NumEdges(),
+			Shards:      set.NumShards(),
+		},
+	})
+	return nil
 }
 
 // CacheStamp returns the generation+checksum stamp of the published
@@ -302,11 +611,17 @@ func (c *CoCo) SetQueryCacheCapacity(n int) {
 }
 
 // refreeze publishes the live net's current state to the serving engines
-// after an offline mutation. Callers hold c.offline.
-func (c *CoCo) refreeze() {
+// after an offline mutation, re-partitioning into the configured shard
+// count (each shard frozen in parallel). Callers hold c.offline.
+func (c *CoCo) refreeze() error {
 	arts := c.arts.Load()
+	if c.shardCount > 1 {
+		arts.Shards = arts.Net.FreezeShards(c.shardCount)
+		return c.publishShards(arts, "refreeze", "", nil)
+	}
 	arts.Refreeze()
 	c.publish(arts, "refreeze")
+	return nil
 }
 
 // SaveSnapshot writes the mutable net to a file in the legacy gob format
@@ -340,7 +655,7 @@ type Stats struct {
 // counts always describe a state that queries actually served (never a
 // half-materialized net mid-inference).
 func (c *CoCo) Stats() Stats {
-	s := c.serving.Load().frozen.ComputeStats()
+	s := c.serving.Load().reader.ComputeStats()
 	return Stats{
 		Classes:              s.PerKind["class"],
 		Primitives:           s.PerKind["primitive"],
@@ -442,7 +757,14 @@ func (c *CoCo) SearchBatch(queries []string, maxItems int) []SearchResult {
 }
 
 func (s *servingState) searchOne(query string, maxItems int) SearchResult {
-	resp := s.search.Search(query, maxItems)
+	return s.compose(s.search.Search(query, maxItems))
+}
+
+func (s *servingState) searchOneBytes(query []byte, maxItems int) SearchResult {
+	return s.compose(s.search.SearchBytes(query, maxItems))
+}
+
+func (s *servingState) compose(resp search.Response) SearchResult {
 	var out SearchResult
 	for _, card := range resp.Cards {
 		out.Cards = append(out.Cards, ConceptCard{Name: card.Name, Items: s.itemsOf(card.Items)})
@@ -504,7 +826,7 @@ func (s *servingState) recommendOne(viewedItemIDs []int, k int) (Recommendation,
 	if !ok {
 		return Recommendation{}, false
 	}
-	nd, _ := s.frozen.Node(rec.Concept)
+	nd, _ := s.reader.Node(rec.Concept)
 	return Recommendation{
 		Reason: rec.Reason,
 		Card:   ConceptCard{Name: nd.Name, Items: s.itemsOf(rec.Items)},
@@ -564,6 +886,33 @@ func (c *CoCo) SearchBatchCtx(ctx context.Context, queries []string, maxItems in
 	return out, nil
 }
 
+// SearchBatchBytesCtx is SearchBatchCtx for queries held as raw bytes —
+// the serving path for batch bodies decoded without materializing one
+// string per query. Equal query bytes produce byte-identical results and
+// hit the same cache entries as the string entry points.
+func (c *CoCo) SearchBatchBytesCtx(ctx context.Context, queries [][]byte, maxItems int) ([]SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := c.serving.Load()
+	out := make([]SearchResult, len(queries))
+	var stopped atomic.Bool
+	batchFor(len(queries), func(i int) {
+		if stopped.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			stopped.Store(true)
+			return
+		}
+		out[i] = s.searchOneBytes(queries[i], maxItems)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RecommendBatchCtx is RecommendBatch guarded by a context, with the same
 // stop-on-deadline contract as SearchBatchCtx.
 func (c *CoCo) RecommendBatchCtx(ctx context.Context, sessions [][]int, k int) ([]BatchRecommendation, error) {
@@ -601,7 +950,7 @@ type Concept struct {
 // Concepts lists every e-commerce concept.
 func (c *CoCo) Concepts() []Concept {
 	var out []Concept
-	net := c.serving.Load().frozen
+	net := c.serving.Load().reader
 	for _, id := range net.NodesOfKind(core.KindEConcept) {
 		nd, _ := net.Node(id)
 		cpt := Concept{Name: nd.Name}
@@ -617,7 +966,7 @@ func (c *CoCo) Concepts() []Concept {
 
 // LookupConcept returns one concept by name.
 func (c *CoCo) LookupConcept(name string) (Concept, bool) {
-	net := c.serving.Load().frozen
+	net := c.serving.Load().reader
 	id := net.FirstByNameKind(strings.ToLower(name), core.KindEConcept)
 	if id == core.InvalidNode {
 		return Concept{}, false
@@ -649,7 +998,7 @@ func (c *CoCo) SampleSessions(n int) [][]int {
 
 // Hypernyms returns the isA ancestors of a primitive concept surface.
 func (c *CoCo) Hypernyms(name string) []string {
-	net := c.serving.Load().frozen
+	net := c.serving.Load().reader
 	id := net.FirstByNameKind(strings.ToLower(name), core.KindPrimitive)
 	if id == core.InvalidNode {
 		return nil
@@ -701,12 +1050,14 @@ func (c *CoCo) InferImplicitRelations() ([]ImpliedRelation, error) {
 	if arts.Net == nil {
 		return nil, errors.New("alicoco: infer: snapshot-loaded net has no live store to materialize into")
 	}
-	m := inference.NewMiner(c.serving.Load().frozen, inference.DefaultConfig())
+	m := inference.NewMiner(c.serving.Load().reader, inference.DefaultConfig())
 	rels := m.InferAll()
 	if _, err := m.Materialize(arts.Net, rels); err != nil {
 		return nil, err
 	}
-	c.refreeze()
+	if err := c.refreeze(); err != nil {
+		return nil, err
+	}
 	out := make([]ImpliedRelation, 0, len(rels))
 	for _, r := range rels {
 		cn, _ := arts.Net.Node(r.Concept)

@@ -8,6 +8,7 @@ package alicoco
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -659,6 +660,95 @@ func BenchmarkBatchServeRecommend(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c.RecommendBatch(sessions, 10)
+		}
+	})
+}
+
+// --- sharded serving benchmarks ----------------------------------------
+//
+// The same hot read workloads against an N-shard partition of the store:
+// N=1 serves the sole shard directly (the unsharded fast path, expected
+// within noise of the frozen net), N=4 routes every point lookup to its
+// owner shard and scatter-gathers traversals — the per-query cost of
+// independent reloadability. scripts/bench.sh records both in
+// BENCH_core.json.
+
+// benchShardStore partitions the shared testbed into n shards and returns
+// the store serving reads: the sole shard itself for n=1 (exactly what the
+// facade publishes), the scatter-gather set otherwise.
+func benchShardStore(b *testing.B, n int) core.Reader {
+	b.Helper()
+	a := benchArtifacts(b)
+	shards := a.Net.FreezeShards(n)
+	if n == 1 {
+		return shards[0]
+	}
+	set, err := core.NewShardSet(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkShardedSearch measures an exact-match query through the search
+// engine on a 1-shard and a 4-shard partition with a reused Response —
+// the sharded counterpart of BenchmarkSearchIntoReused.
+func BenchmarkShardedSearch(b *testing.B) {
+	a := benchArtifacts(b)
+	for _, n := range []int{1, 4} {
+		engine := search.NewEngine(benchShardStore(b, n), a.World.Stopwords())
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var resp search.Response
+			for i := 0; i < b.N; i++ {
+				engine.SearchInto(&resp, "outdoor barbecue", 10)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedRecommend measures one cognitive recommendation against
+// a 1-shard and a 4-shard partition with a reused Recommendation.
+func BenchmarkShardedRecommend(b *testing.B) {
+	a := benchArtifacts(b)
+	raw := a.World.ClickLog(20)
+	var viewed []core.NodeID
+	for _, id := range raw[0].Viewed {
+		viewed = append(viewed, a.ItemNode[id])
+	}
+	for _, n := range []int{1, 4} {
+		engine := recommend.NewEngine(benchShardStore(b, n))
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var rec recommend.Recommendation
+			for i := 0; i < b.N; i++ {
+				if !engine.RecommendInto(&rec, viewed, 10) {
+					b.Fatal("no recommendation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedFreeze contrasts republish latency: one whole-net freeze
+// versus freezing a 4-shard partition (each shard is an independent range,
+// frozen in parallel across internal/par workers — on multi-core hosts the
+// partition refreeze wins wall-clock; on one core it documents the
+// partitioning overhead).
+func BenchmarkShardedFreeze(b *testing.B) {
+	a := benchArtifacts(b)
+	b.Run("whole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if a.Net.Freeze().NumNodes() == 0 {
+				b.Fatal("empty freeze")
+			}
+		}
+	})
+	b.Run("shards4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(a.Net.FreezeShards(4)) != 4 {
+				b.Fatal("bad partition")
+			}
 		}
 	})
 }

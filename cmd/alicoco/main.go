@@ -6,11 +6,15 @@
 //
 //	alicoco [-scale small|default] [-out net.coco] [-query "outdoor barbecue"]
 //	alicoco snapshot save [-scale small|default] -out net.fz
+//	alicoco snapshot save [-scale small|default] -shards 4 -out netdir
 //	alicoco snapshot load -in net.fz [-query "outdoor barbecue"]
 //
-// `snapshot save` builds the net and writes the frozen serving snapshot;
-// `snapshot load` restores it without rebuilding (cold start proportional
-// to disk bandwidth) and can answer queries against it.
+// `snapshot save` builds the net and writes the frozen serving snapshot —
+// a single file, or with -shards N a directory of N independently
+// reloadable shard files plus a manifest (serve it with
+// `cocoserve -snapshot-dir`); `snapshot load` restores a single-file
+// snapshot without rebuilding (cold start proportional to disk bandwidth)
+// and can answer queries against it.
 package main
 
 import (
@@ -85,7 +89,8 @@ func scaleOptions(scale string) alicoco.Options {
 func snapshotSave(args []string) {
 	fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
 	scale := fs.String("scale", "default", "build scale: small or default")
-	out := fs.String("out", "net.fz", "path to write the frozen snapshot")
+	out := fs.String("out", "net.fz", "path to write the frozen snapshot (a directory with -shards)")
+	shards := fs.Int("shards", 0, "write a sharded snapshot directory with this many shards instead of a single file")
 	fs.Parse(args)
 	rejectExtraArgs(fs)
 
@@ -96,6 +101,15 @@ func snapshotSave(args []string) {
 		log.Fatalf("build: %v", err)
 	}
 	log.Printf("built in %v", time.Since(start).Round(time.Millisecond))
+	if *shards > 0 {
+		man, err := coco.SaveShards(*out, *shards)
+		if err != nil {
+			log.Fatalf("save shards: %v", err)
+		}
+		log.Printf("sharded snapshot written to %s/ (%d shards, serve with cocoserve -snapshot-dir)", *out, man.NumShards())
+		fmt.Println(coco.Stats().Render())
+		return
+	}
 	if err := coco.SaveFrozen(*out); err != nil {
 		log.Fatalf("save frozen: %v", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"alicoco/internal/pipeline"
 	"alicoco/internal/resilience"
 )
 
@@ -185,15 +187,75 @@ func (s *server) tryReload() (source string, err error) {
 			s.backoff.Reset()
 		}
 		s.consecReloads = 0
+		clear(s.shardFails)
 		return source, nil
 	}
 	s.reloadFailures.Add(1)
 	s.breaker.Failure()
 	s.consecReloads++
+	var sle *pipeline.ShardLoadError
+	if s.snapshotDir != "" && errors.As(err, &sle) {
+		s.noteShardFailureLocked(sle.Index, sle.File, err)
+	}
 	if s.snapshot != "" && s.cfg.quarantineAfter > 0 && s.consecReloads >= s.cfg.quarantineAfter {
 		s.quarantineSnapshot(err)
 	}
 	return source, err
+}
+
+// tryReloadShard force-reloads one shard of the -snapshot-dir partition
+// with the same resilience bookkeeping as tryReload: the outcome feeds the
+// breaker, and a shard that keeps failing is quarantined on its own —
+// the rest of the partition keeps serving and reloading.
+func (s *server) tryReloadShard(i int) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	err := s.coco.ReloadShard(s.snapshotDir, i)
+	if err == nil {
+		s.breaker.Success()
+		if s.backoff != nil {
+			s.backoff.Reset()
+		}
+		s.consecReloads = 0
+		delete(s.shardFails, i)
+		return nil
+	}
+	s.reloadFailures.Add(1)
+	s.breaker.Failure()
+	var sle *pipeline.ShardLoadError
+	if errors.As(err, &sle) {
+		s.noteShardFailureLocked(sle.Index, sle.File, err)
+	}
+	return err
+}
+
+// noteShardFailureLocked counts a reload failure attributed to one shard
+// and quarantines that shard's file once it keeps failing — the sharded
+// analogue of quarantineSnapshot, scoped to the one bad file so the other
+// shards keep reloading. Callers hold reloadMu.
+func (s *server) noteShardFailureLocked(idx int, file string, cause error) {
+	if s.shardFails == nil {
+		s.shardFails = make(map[int]int)
+	}
+	s.shardFails[idx]++
+	if s.cfg.quarantineAfter <= 0 || s.shardFails[idx] < s.cfg.quarantineAfter {
+		return
+	}
+	s.shardFails[idx] = 0
+	path := filepath.Join(s.snapshotDir, file)
+	if _, err := os.Stat(path); err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			log.Printf("quarantine: stat %s: %v", path, err)
+		}
+		return
+	}
+	dst := path + ".quarantined"
+	if err := os.Rename(path, dst); err != nil {
+		log.Printf("quarantine: rename %s: %v", path, err)
+		return
+	}
+	s.quarantines.Add(1)
+	log.Printf("quarantined shard %d (%s -> %s) after repeated failures (last: %v)", idx, path, dst, cause)
 }
 
 // quarantineSnapshot renames the persistently failing snapshot file aside

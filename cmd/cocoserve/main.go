@@ -40,7 +40,8 @@
 //
 // Usage: cocoserve [-addr :8080] [-scale small|default]
 //
-//	[-snapshot net.fz] [-refresh 5m] [-cache-size 4096]
+//	[-snapshot net.fz] [-snapshot-dir dir] [-shards N]
+//	[-refresh 5m] [-cache-size 4096]
 //	[-deadline 2s] [-batch-deadline 15s] [-max-inflight N] [-queue-depth N]
 //	[-drain-timeout 15s]
 //
@@ -53,6 +54,18 @@
 // state untouched. The swap itself is one atomic pointer store — in-flight
 // and concurrent queries keep answering without downtime; -refresh does
 // the same on a timer.
+//
+// With -snapshot-dir, the store is a partition of N independently frozen
+// shards (written by SaveShards: a manifest plus one file per shard).
+// POST /reload diffs the on-disk manifest against serving and re-reads
+// only the shards whose checksums changed — unchanged shards keep their
+// in-memory form and their cache entries stay warm; a no-op reload swaps
+// nothing at all. POST /reload?shard=i force-reloads one shard. Each
+// shard fails, retries, and quarantines independently: a shard file that
+// keeps failing validation is renamed aside while the other shards keep
+// reloading. /stats lists per-shard generation, checksum, publish age,
+// and consecutive-failure counts. -shards N partitions a live-built net
+// the same way (refreezes then re-freeze all N shards in parallel).
 //
 // Operational behavior (see PERF.md "Operational behavior" for budgets):
 // handler panics become 500s behind recovery middleware; cache-missing
@@ -76,7 +89,6 @@ import (
 	"log"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -116,6 +128,11 @@ type server struct {
 	// live, in which case /reload re-freezes instead. Reloads serialize on
 	// the facade's own offline lock; queries are never blocked.
 	snapshot string
+
+	// snapshotDir is the sharded snapshot directory /reload diffs against
+	// serving (only shards whose checksums changed are re-read); it takes
+	// precedence over snapshot. /reload?shard=i force-reloads one shard.
+	snapshotDir string
 
 	// searchBytes / recBytes cache the *encoded JSON bytes* of the hot
 	// single-query GET endpoints, keyed on the raw query string and
@@ -158,7 +175,8 @@ type server struct {
 	// (consecFailures drives quarantine); the facade's offline lock only
 	// serializes the swap itself.
 	reloadMu      sync.Mutex
-	consecReloads int // consecutive reload failures, guarded by reloadMu
+	consecReloads int         // consecutive reload failures, guarded by reloadMu
+	shardFails    map[int]int // consecutive failures per shard, guarded by reloadMu
 
 	// hook, when set before serving starts, is called at the top of the
 	// query handlers ("search", "recommend", ...) and again after
@@ -243,12 +261,83 @@ func (s *server) writeJSONCaching(w http.ResponseWriter, v any, cache *qcache.Ca
 	}
 }
 
+// writeResults encodes {"results": v} by hand-appending the envelope
+// around one Encode of the results slice itself, byte-identical to
+// encoding a map[string]any{"results": v} but without allocating the
+// one-entry map and reflecting over it per batch response.
+func (s *server) writeResults(w http.ResponseWriter, results any) {
+	c := codecs.Get().(*jsonCodec)
+	defer func() {
+		if c.buf.Cap() <= maxPooledEncodeBuf {
+			codecs.Put(c)
+		}
+	}()
+	c.buf.Reset()
+	c.buf.WriteString(`{"results":`)
+	if err := c.enc.Encode(results); err != nil {
+		log.Printf("encode: %v", err)
+		http.Error(w, "encode failed", http.StatusInternalServerError)
+		return
+	}
+	b := c.buf.Bytes()
+	b[len(b)-1] = '}' // Encode's trailing newline becomes the closing brace
+	c.buf.WriteByte('\n')
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(c.buf.Bytes()); err != nil {
+		log.Printf("write: %v", err)
+	}
+}
+
 // writeJSONBytes serves an already-encoded cached response.
 func writeJSONBytes(w http.ResponseWriter, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(b); err != nil {
 		log.Printf("write: %v", err)
 	}
+}
+
+// cachedResp is a non-200 response held in the encoded-bytes caches:
+// requests that deterministically fail for this snapshot (unknown items,
+// malformed parameters) repeat just like good ones, and replaying the
+// tiny error is even cheaper than re-parsing and re-failing.
+type cachedResp struct {
+	status int
+	body   []byte
+}
+
+// writeCached replays a hit from an encoded-bytes cache: either raw JSON
+// 200 bytes or a cached error response.
+func writeCached(w http.ResponseWriter, v any) {
+	if cr, ok := v.(*cachedResp); ok {
+		writeErrorBytes(w, cr)
+		return
+	}
+	writeJSONBytes(w, v.([]byte))
+}
+
+// writeErrorBytes answers with exactly the headers and body http.Error
+// would have produced for the same message and status.
+func writeErrorBytes(w http.ResponseWriter, cr *cachedResp) {
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(cr.status)
+	if _, err := w.Write(cr.body); err != nil {
+		log.Printf("write: %v", err)
+	}
+}
+
+// errorCaching answers msg/status via http.Error and — when the outcome
+// is deterministic for this snapshot generation — caches the encoded
+// error under (stamp, key) so the next identical request replays it
+// without parsing anything. The same stamp discipline as
+// writeJSONCaching applies: stamp was read before the request was
+// evaluated, and a reload stops matching it.
+func (s *server) errorCaching(w http.ResponseWriter, msg string, status int, cache *qcache.Cache, stamp qcache.Stamp, key string) {
+	if cache != nil && s.coco.CacheStamp() == stamp {
+		cache.PutString(stamp, key, &cachedResp{status: status, body: []byte(msg + "\n")})
+	}
+	http.Error(w, msg, status)
 }
 
 // statsResponse is the /stats payload: the Table-2 net shape plus the
@@ -326,28 +415,63 @@ func (s *server) cacheInfo() cacheInfo {
 }
 
 type snapshotInfo struct {
-	Source      string  `json:"source"`             // build | snapshot | refreeze
-	Generation  uint64  `json:"generation"`         // serving publishes since startup
-	Checksum    string  `json:"checksum,omitempty"` // CRC-32 of the loaded snapshot file
-	File        string  `json:"file,omitempty"`     // -snapshot path, when serving from one
-	PublishedAt string  `json:"published_at"`       // RFC 3339
-	AgeSeconds  float64 `json:"age_seconds"`        // time since publish
+	Source      string      `json:"source"`             // build | snapshot | shards | refreeze
+	Generation  uint64      `json:"generation"`         // serving publishes since startup
+	Checksum    string      `json:"checksum,omitempty"` // CRC-32 of the loaded snapshot content
+	File        string      `json:"file,omitempty"`     // -snapshot path, when serving from one
+	Dir         string      `json:"dir,omitempty"`      // -snapshot-dir path, when serving shards
+	PublishedAt string      `json:"published_at"`       // RFC 3339
+	AgeSeconds  float64     `json:"age_seconds"`        // time since publish
+	Nodes       int         `json:"nodes"`
+	Edges       int         `json:"edges"`
+	Shards      []shardStat `json:"shards,omitempty"` // per-shard state of a partitioned store
+}
+
+// shardStat is one shard's slice of the /stats snapshot section:
+// generation and publish time reflect when *this shard's content* last
+// changed (a reload that skipped it leaves them alone), and failures
+// counts its consecutive reload failures toward quarantine.
+type shardStat struct {
+	Index       int     `json:"index"`
+	Checksum    string  `json:"checksum,omitempty"`
+	Generation  uint64  `json:"generation"`
+	PublishedAt string  `json:"published_at"`
+	AgeSeconds  float64 `json:"age_seconds"`
 	Nodes       int     `json:"nodes"`
 	Edges       int     `json:"edges"`
+	Failures    int     `json:"failures,omitempty"`
 }
 
 func (s *server) snapshotInfo() snapshotInfo {
 	info := s.coco.ServingInfo()
-	return snapshotInfo{
+	out := snapshotInfo{
 		Source:      info.Source,
 		Generation:  info.Generation,
 		Checksum:    info.Checksum,
 		File:        s.snapshot,
+		Dir:         s.snapshotDir,
 		PublishedAt: info.PublishedAt.UTC().Format(time.RFC3339),
 		AgeSeconds:  time.Since(info.PublishedAt).Seconds(),
 		Nodes:       info.Nodes,
 		Edges:       info.Edges,
 	}
+	if shards := s.coco.ShardInfos(); len(shards) > 0 {
+		s.reloadMu.Lock()
+		for _, si := range shards {
+			out.Shards = append(out.Shards, shardStat{
+				Index:       si.Index,
+				Checksum:    si.Checksum,
+				Generation:  si.Generation,
+				PublishedAt: si.PublishedAt.UTC().Format(time.RFC3339),
+				AgeSeconds:  time.Since(si.PublishedAt).Seconds(),
+				Nodes:       si.Nodes,
+				Edges:       si.Edges,
+				Failures:    s.shardFails[si.Index],
+			})
+		}
+		s.reloadMu.Unlock()
+	}
+	return out
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -368,12 +492,12 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.RawQuery
 	stamp := s.coco.CacheStamp()
 	if v, ok := s.searchBytes.GetString(stamp, raw); ok {
-		writeJSONBytes(w, v.([]byte))
+		writeCached(w, v)
 		return
 	}
 	q, _ := queryParam(raw, "q")
 	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		s.errorCaching(w, "missing q parameter", http.StatusBadRequest, s.searchBytes, stamp, raw)
 		return
 	}
 	ctx, release, ok := s.admit(w, r, s.cfg.deadline)
@@ -424,7 +548,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, q := range queries {
-		if strings.TrimSpace(q) == "" {
+		if len(bytes.TrimSpace(q)) == 0 {
 			http.Error(w, "empty query in batch", http.StatusBadRequest)
 			return
 		}
@@ -439,12 +563,12 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	results, err := s.coco.SearchBatchCtx(ctx, queries, maxItems)
+	results, err := s.coco.SearchBatchBytesCtx(ctx, queries, maxItems)
 	if err != nil {
 		s.shed(w)
 		return
 	}
-	s.writeJSON(w, map[string]any{"results": results})
+	s.writeResults(w, results)
 }
 
 func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
@@ -468,7 +592,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.RawQuery
 	stamp := s.coco.CacheStamp()
 	if v, ok := s.recBytes.GetString(stamp, raw); ok {
-		writeJSONBytes(w, v.([]byte))
+		writeCached(w, v)
 		return
 	}
 	sc := getScratch()
@@ -477,14 +601,14 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	ids, err := appendItemsParam(sc.ids[:0], itemsVal)
 	sc.ids = ids
 	if err != nil {
-		http.Error(w, "bad items parameter", http.StatusBadRequest)
+		s.errorCaching(w, "bad items parameter", http.StatusBadRequest, s.recBytes, stamp, raw)
 		return
 	}
 	k := 10
 	if ks, ok := queryParam(raw, "k"); ok && ks != "" {
 		v, err := strconv.Atoi(ks)
 		if err != nil || v <= 0 {
-			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			s.errorCaching(w, "bad k parameter", http.StatusBadRequest, s.recBytes, stamp, raw)
 			return
 		}
 		if v > maxRecommendK {
@@ -506,7 +630,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
-		http.Error(w, "no recommendation for these items", http.StatusNotFound)
+		s.errorCaching(w, "no recommendation for these items", http.StatusNotFound, s.recBytes, stamp, raw)
 		return
 	}
 	s.writeJSONCaching(w, rec, s.recBytes, stamp, raw)
@@ -567,7 +691,7 @@ func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		s.shed(w)
 		return
 	}
-	s.writeJSON(w, map[string]any{"results": results})
+	s.writeResults(w, results)
 }
 
 func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
@@ -589,6 +713,27 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	// A manual reload bypasses the breaker's Allow (an operator poking the
 	// endpoint is the half-open probe), but its outcome still feeds the
 	// breaker — a good publish re-closes it for the -refresh loop.
+	if shardStr, ok := queryParam(r.URL.RawQuery, "shard"); ok && shardStr != "" {
+		if s.snapshotDir == "" {
+			http.Error(w, "shard reload requires -snapshot-dir", http.StatusBadRequest)
+			return
+		}
+		i, err := strconv.Atoi(shardStr)
+		if err != nil || i < 0 {
+			http.Error(w, "bad shard parameter", http.StatusBadRequest)
+			return
+		}
+		if err := s.tryReloadShard(i); err != nil {
+			http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.writeJSON(w, map[string]any{
+			"status":   "reloaded",
+			"source":   "shard:" + shardStr,
+			"snapshot": s.snapshotInfo(),
+		})
+		return
+	}
 	source, err := s.tryReload()
 	if err != nil {
 		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
@@ -602,6 +747,10 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) reload() (source string, err error) {
+	if s.snapshotDir != "" {
+		changed, err := s.coco.ReloadShards(s.snapshotDir)
+		return "shards:" + s.snapshotDir + " (" + strconv.Itoa(changed) + " reloaded)", err
+	}
 	if s.snapshot != "" {
 		return "snapshot:" + s.snapshot, s.coco.ReloadFrozen(s.snapshot)
 	}
@@ -627,6 +776,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.String("scale", "small", "build scale: small or default")
 	snapshot := flag.String("snapshot", "", "serve from a frozen snapshot file instead of building")
+	snapshotDir := flag.String("snapshot-dir", "",
+		"serve from a sharded snapshot directory (manifest + per-shard files); /reload re-reads only changed shards")
+	shards := flag.Int("shards", 0,
+		"partition a built net into N independently reloadable shards (ignored with -snapshot/-snapshot-dir)")
 	refresh := flag.Duration("refresh", 0, "if > 0, reload the snapshot (or refreeze) on this interval")
 	cacheSize := flag.Int("cache-size", alicoco.DefaultQueryCacheCapacity,
 		"query cache capacity in entries per cache layer (0 disables caching)")
@@ -645,20 +798,30 @@ func main() {
 
 	var coco *alicoco.CoCo
 	var err error
-	if *snapshot != "" {
+	switch {
+	case *snapshotDir != "" && *snapshot != "":
+		log.Fatalf("-snapshot and -snapshot-dir are mutually exclusive")
+	case *snapshotDir != "":
+		start := time.Now()
+		coco, err = alicoco.LoadShardedFrozen(*snapshotDir)
+		if err != nil {
+			log.Fatalf("load sharded snapshot: %v", err)
+		}
+		log.Printf("loaded %d shards from %s in %v", coco.NumShards(), *snapshotDir, time.Since(start).Round(time.Millisecond))
+	case *snapshot != "":
 		start := time.Now()
 		coco, err = alicoco.LoadFrozen(*snapshot)
 		if err != nil {
 			log.Fatalf("load snapshot: %v", err)
 		}
 		log.Printf("loaded snapshot %s in %v", *snapshot, time.Since(start).Round(time.Millisecond))
-	} else {
+	default:
 		opts := alicoco.Small()
 		if *scale == "default" {
 			opts = alicoco.Default()
 		}
-		log.Printf("building net (scale=%s)...", *scale)
-		coco, err = alicoco.Build(opts)
+		log.Printf("building net (scale=%s, shards=%d)...", *scale, *shards)
+		coco, err = alicoco.BuildSharded(opts, *shards)
 		if err != nil {
 			log.Fatalf("build: %v", err)
 		}
@@ -673,6 +836,7 @@ func main() {
 	cfg.maxInflight = *maxInflight
 	cfg.queueDepth = *queueDepth
 	s := newServerCfg(coco, *snapshot, cfg)
+	s.snapshotDir = *snapshotDir
 	if *cacheSize > 0 {
 		log.Printf("query caches enabled: %d entries per layer (result + encoded-bytes)", *cacheSize)
 	} else {

@@ -23,12 +23,15 @@ import (
 
 // reqScratch is the pooled per-request working memory of the decoding
 // path: the body buffer, the string-unescape buffer, and the decoded
-// request structures, all recycled across requests.
+// request structures, all recycled across requests. Batch queries decode
+// as byte slices — views into body for escape-free strings, views into
+// arena for unescaped ones — so no per-query string is ever materialized.
 type reqScratch struct {
 	body     []byte
 	strbuf   []byte
+	arena    []byte // stable storage for unescaped query bytes
 	ids      []int
-	queries  []string
+	queries  [][]byte
 	sessions [][]int
 }
 
@@ -41,7 +44,7 @@ func getScratch() *reqScratch { return reqPool.Get().(*reqScratch) }
 // overshoot it); a rare huge request should not pin megabytes per pool
 // slot, mirroring the encode-side codec pool's cap.
 func putScratch(sc *reqScratch) {
-	if cap(sc.body) <= maxBatchBody {
+	if cap(sc.body) <= maxBatchBody && cap(sc.arena) <= maxBatchBody {
 		reqPool.Put(sc)
 	}
 }
@@ -136,6 +139,7 @@ type jscan struct {
 	b      []byte
 	i      int
 	strbuf []byte // unescape scratch, borrowed from the reqScratch
+	slow   bool   // last parseStringBytes took the unescape path (bytes alias strbuf)
 }
 
 func (s *jscan) ws() {
@@ -170,6 +174,7 @@ func (s *jscan) expect(c byte) error {
 // back as a subslice of the body; escaped ones decode into the scratch
 // buffer. Either way the bytes are valid only until the next call.
 func (s *jscan) parseStringBytes() ([]byte, error) {
+	s.slow = false
 	if err := s.expect('"'); err != nil {
 		return nil, errNotString
 	}
@@ -201,6 +206,7 @@ func (s *jscan) parseStringSlow(start int) ([]byte, error) {
 		case c == '"':
 			s.i++
 			s.strbuf = buf
+			s.slow = true
 			return buf, nil
 		case c < 0x20:
 			return nil, errSyntax
@@ -428,12 +434,17 @@ func (s *jscan) parseObject(field func(key []byte) error) error {
 }
 
 // parseSearchBatchBody decodes {"queries": [...], "max_items": n},
-// appending queries into the caller's reused slice. Unknown fields are
-// skipped; a null or absent queries array comes back empty (the handler
-// rejects it, as it rejected the nil the reflection decoder produced).
-func parseSearchBatchBody(sc *reqScratch) (queries []string, maxItems int, err error) {
+// appending queries into the caller's reused slice as byte slices, not
+// strings: an escape-free query is a view into the body buffer; an
+// escaped one is copied into the scratch arena, whose earlier views stay
+// valid across growth because the old backing array is only abandoned,
+// never rewritten. Unknown fields are skipped; a null or absent queries
+// array comes back empty (the handler rejects it, as it rejected the nil
+// the reflection decoder produced).
+func parseSearchBatchBody(sc *reqScratch) (queries [][]byte, maxItems int, err error) {
 	s := jscan{b: sc.body, strbuf: sc.strbuf[:0]}
 	queries = sc.queries[:0]
+	arena := sc.arena[:0]
 	err = s.parseObject(func(key []byte) error {
 		switch string(key) {
 		case "queries":
@@ -453,7 +464,14 @@ func parseSearchBatchBody(sc *reqScratch) (queries []string, maxItems int, err e
 				if err != nil {
 					return err
 				}
-				queries = append(queries, string(qb))
+				if s.slow {
+					// qb aliases the unescape scratch, which the next parse
+					// reuses; move the bytes somewhere stable.
+					n := len(arena)
+					arena = append(arena, qb...)
+					qb = arena[n:len(arena):len(arena)]
+				}
+				queries = append(queries, qb)
 				switch s.peek() {
 				case ',':
 					s.i++
@@ -479,6 +497,7 @@ func parseSearchBatchBody(sc *reqScratch) (queries []string, maxItems int, err e
 		}
 	})
 	sc.strbuf = s.strbuf
+	sc.arena = arena
 	sc.queries = queries
 	return queries, maxItems, err
 }

@@ -8,10 +8,16 @@ import (
 	"testing"
 )
 
-// scanSearch runs the scanner over body through a fresh scratch.
+// scanSearch runs the scanner over body through a fresh scratch, converting
+// the byte-slice queries to strings for comparison against encoding/json.
 func scanSearch(body string) ([]string, int, error) {
 	sc := &reqScratch{body: []byte(body)}
-	return parseSearchBatchBody(sc)
+	qb, maxItems, err := parseSearchBatchBody(sc)
+	var queries []string
+	for _, q := range qb {
+		queries = append(queries, string(q))
+	}
+	return queries, maxItems, err
 }
 
 func scanRecommend(body string) ([][]int, int, error) {

@@ -42,7 +42,9 @@ const maxVotedCards = 3
 // token buffer, the name-join buffer, the vote map, and the top-k heap of
 // an earlier request instead of allocating their own.
 type scratch struct {
-	tokens []string
+	raw    []byte               // copy of a string query (the bytes core's input)
+	low    []byte               // lower-cased query bytes
+	tokens [][]byte             // token views into low
 	name   []byte               // space-joined tokens, the exact-match key
 	key    []byte               // query-cache key (maxItems + raw query bytes)
 	segs   []text.Segment       // max-match segmentation buffer
@@ -133,6 +135,31 @@ func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
+	sc.raw = append(sc.raw[:0], query...)
+	e.searchInto(sc, resp, sc.raw, maxItems)
+}
+
+// SearchBytes is Search for a query held as raw bytes (e.g. decoded
+// straight out of a request body) — no string is ever materialized on the
+// way to the engine.
+func (e *Engine) SearchBytes(query []byte, maxItems int) Response {
+	var resp Response
+	e.SearchBytesInto(&resp, query, maxItems)
+	return resp
+}
+
+// SearchBytesInto is SearchInto for a byte-slice query; both entry points
+// share one bytes core, so results and cache keys are byte-identical for
+// equal query bytes.
+func (e *Engine) SearchBytesInto(resp *Response, query []byte, maxItems int) {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	e.searchInto(sc, resp, query, maxItems)
+}
+
+// searchInto is the shared core behind the string and bytes entry points:
+// cache probe, engine dispatch, cache fill.
+func (e *Engine) searchInto(sc *scratch, resp *Response, query []byte, maxItems int) {
 	resp.Cards = resp.Cards[:0]
 	resp.Items = resp.Items[:0]
 
@@ -151,12 +178,13 @@ func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
 
 // searchUncached computes the answer through the engines; sc is the
 // caller's pooled scratch.
-func (e *Engine) searchUncached(sc *scratch, resp *Response, query string, maxItems int) {
-	sc.tokens = text.AppendTokens(sc.tokens[:0], query)
+func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxItems int) {
+	sc.low = text.AppendLower(sc.low[:0], query)
+	sc.tokens = text.AppendTokensBytes(sc.tokens[:0], sc.low)
 
 	// 1. Exact e-commerce concept match, keyed through the reused join
 	// buffer so no query string is materialized.
-	sc.name = text.AppendJoin(sc.name[:0], sc.tokens)
+	sc.name = text.AppendJoinBytes(sc.name[:0], sc.tokens)
 	if id := e.net.FirstByNameKindBytes(sc.name, core.KindEConcept); id != core.InvalidNode {
 		e.appendCard(resp, id, maxItems)
 		return
@@ -226,13 +254,13 @@ func (e *Engine) appendCard(resp *Response, concept core.NodeID, maxItems int) {
 // matched surface through the byte-keyed exact lookup, so the voting path
 // stays allocation-free (the first reading of a surface is enough for
 // retrieval, which is exactly what FirstByNameKindBytes returns).
-func (e *Engine) appendMatchPrimitives(sc *scratch, dst []core.NodeID, tokens []string) []core.NodeID {
-	sc.segs = e.seg.SegmentInto(sc.segs[:0], tokens)
+func (e *Engine) appendMatchPrimitives(sc *scratch, dst []core.NodeID, tokens [][]byte) []core.NodeID {
+	sc.segs = e.seg.SegmentBytesInto(sc.segs[:0], tokens)
 	for _, seg := range sc.segs {
 		if len(seg.Labels) == 0 {
 			continue
 		}
-		sc.name = text.AppendJoin(sc.name[:0], tokens[seg.Start:seg.End])
+		sc.name = text.AppendJoinBytes(sc.name[:0], tokens[seg.Start:seg.End])
 		if id := e.net.FirstByNameKindBytes(sc.name, core.KindPrimitive); id != core.InvalidNode {
 			dst = append(dst, id)
 		}
@@ -243,7 +271,7 @@ func (e *Engine) appendMatchPrimitives(sc *scratch, dst []core.NodeID, tokens []
 // appendSearchKey builds the cache key: maxItems (part of the answer
 // shape, full 64-bit so distinct values can never collide) followed by
 // the raw query bytes.
-func appendSearchKey(dst []byte, query string, maxItems int) []byte {
+func appendSearchKey(dst []byte, query []byte, maxItems int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(maxItems)))
 	return append(dst, query...)
 }

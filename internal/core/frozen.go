@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"alicoco/internal/par"
+)
 
 // FrozenNet is an immutable, lock-free snapshot of a Net, laid out for the
 // online serving workloads of Sections 8.1-8.2: adjacency is stored in CSR
@@ -16,6 +20,15 @@ import "sync"
 // for unlimited concurrent use. To serve updates, mutate the live Net
 // offline and swap in a fresh Freeze() — the paper's build-offline /
 // serve-online split.
+//
+// A FrozenNet may also be one shard of a larger net (see FreezeShards and
+// ShardSet): it then holds the contiguous global-ID range [base,
+// base+len(nodes)) with shard-local storage indexing, while node IDs —
+// including HalfEdge.Peer — stay global. Point lookups (Node, Out, In, the
+// name indexes) answer only for nodes the shard owns; traversals are
+// shard-local (edges leading outside the shard are not followed — the
+// ShardSet runs the cross-shard BFS). A whole-net freeze is simply the
+// base=0 shard that owns everything, so nothing changes for the N=1 path.
 type FrozenNet struct {
 	nodes  []Node
 	byName map[string][]NodeID
@@ -24,11 +37,35 @@ type FrozenNet struct {
 	in     csr
 	edges  int
 
+	// base is the first global node ID this shard owns; total is the node
+	// count of the whole net the shard belongs to (== len(nodes) for a
+	// whole-net freeze). Storage is indexed by id-base.
+	base  NodeID
+	total int
+
 	// checksum is the CRC-32 recorded while loading a persisted snapshot
 	// (see persist_frozen.go); 0 for snapshots frozen from a live net.
 	checksum uint32
 
 	visit sync.Pool // *visitState, reused across traversals
+}
+
+// Base returns the first global node ID this shard owns (0 for a whole-net
+// freeze).
+func (f *FrozenNet) Base() NodeID { return f.base }
+
+// TotalNodes returns the node count of the whole net this snapshot belongs
+// to — equal to NumNodes for a whole-net freeze, larger for a shard.
+func (f *FrozenNet) TotalNodes() int { return f.total }
+
+// local maps a global node ID to this shard's storage index, or -1 when the
+// shard does not own it.
+func (f *FrozenNet) local(id NodeID) int {
+	lid := int(id) - int(f.base)
+	if lid < 0 || lid >= len(f.nodes) {
+		return -1
+	}
+	return lid
 }
 
 // Checksum returns the CRC-32 of the snapshot file this net was loaded
@@ -101,17 +138,62 @@ func (c *csr) sortPostings(n int, kind EdgeKind) {
 func (n *Net) Freeze() *FrozenNet {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	return n.freezeRangeLocked(0, len(n.nodes), len(n.nodes))
+}
+
+// FreezeShards partitions the net into count contiguous node-ID ranges and
+// freezes each independently (in parallel — freezing is read-only, so the
+// shards share one read lock). Shard i owns [i*stride, min((i+1)*stride,
+// total)) with stride = ceil(total/count); trailing shards may be empty
+// when count exceeds the node count. The shards assemble into a ShardSet
+// for serving, and each persists/reloads on its own (see persist_frozen.go
+// version 2 and pipeline.SaveShards).
+func (n *Net) FreezeShards(count int) []*FrozenNet {
+	if count < 1 {
+		count = 1
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := len(n.nodes)
+	stride := ShardStride(total, count)
+	shards := make([]*FrozenNet, count)
+	par.For(0, count, func(i int) {
+		base := min(i*stride, total)
+		end := min(base+stride, total)
+		shards[i] = n.freezeRangeLocked(base, end, total)
+	})
+	return shards
+}
+
+// ShardStride is the per-shard node count of a count-way range partition
+// over total nodes: ceil(total/count), floored at 1 so id/stride routing
+// stays well-defined on empty nets.
+func ShardStride(total, count int) int {
+	stride := (total + count - 1) / count
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+// freezeRangeLocked freezes the node range [base, end) of a net with total
+// nodes. Callers hold n.mu. Node IDs (and edge peers) stay global; storage
+// is indexed by id-base. The per-name and per-kind indexes are rebuilt by
+// an ascending scan, which reproduces the live net's insertion order
+// because node IDs are assigned sequentially.
+func (n *Net) freezeRangeLocked(base, end, total int) *FrozenNet {
 	f := &FrozenNet{
-		nodes:  append([]Node(nil), n.nodes...),
-		byName: make(map[string][]NodeID, len(n.byName)),
-		out:    buildCSR(n.outAdj),
-		in:     buildCSR(n.inAdj),
-		edges:  n.edges,
+		nodes:  append([]Node(nil), n.nodes[base:end]...),
+		byName: make(map[string][]NodeID, end-base),
+		out:    buildCSR(n.outAdj[base:end]),
+		in:     buildCSR(n.inAdj[base:end]),
+		base:   NodeID(base),
+		total:  total,
 	}
-	for name, ids := range n.byName {
-		f.byName[name] = append([]NodeID(nil), ids...)
-	}
-	for _, nd := range f.nodes {
+	f.edges = len(f.out.edges)
+	for i := range f.nodes {
+		nd := &f.nodes[i]
+		f.byName[nd.Name] = append(f.byName[nd.Name], nd.ID)
 		f.byKind[nd.Kind] = append(f.byKind[nd.Kind], nd.ID)
 	}
 	nn := len(f.nodes)
@@ -123,12 +205,14 @@ func (n *Net) Freeze() *FrozenNet {
 	return f
 }
 
-// Node returns the node for id; ok is false for invalid ids.
+// Node returns the node for id; ok is false for invalid ids (including ids
+// owned by a different shard).
 func (f *FrozenNet) Node(id NodeID) (Node, bool) {
-	if id < 0 || int(id) >= len(f.nodes) {
+	lid := f.local(id)
+	if lid < 0 {
 		return Node{}, false
 	}
-	return f.nodes[id], true
+	return f.nodes[lid], true
 }
 
 // NumNodes returns the node count.
@@ -149,7 +233,7 @@ func (f *FrozenNet) FindByNameKind(name string, kind NodeKind) []NodeID {
 // AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
 func (f *FrozenNet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID {
 	for _, id := range f.byName[name] {
-		if f.nodes[id].Kind == kind {
+		if f.nodes[id-f.base].Kind == kind {
 			dst = append(dst, id)
 		}
 	}
@@ -159,7 +243,7 @@ func (f *FrozenNet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKin
 // FirstByNameKind returns the first matching node or InvalidNode.
 func (f *FrozenNet) FirstByNameKind(name string, kind NodeKind) NodeID {
 	for _, id := range f.byName[name] {
-		if f.nodes[id].Kind == kind {
+		if f.nodes[id-f.base].Kind == kind {
 			return id
 		}
 	}
@@ -171,7 +255,7 @@ func (f *FrozenNet) FirstByNameKind(name string, kind NodeKind) NodeID {
 // lookup, so hot callers can assemble the key in a reused buffer.
 func (f *FrozenNet) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
 	for _, id := range f.byName[string(name)] {
-		if f.nodes[id].Kind == kind {
+		if f.nodes[id-f.base].Kind == kind {
 			return id
 		}
 	}
@@ -179,15 +263,15 @@ func (f *FrozenNet) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
 }
 
 // Out returns outgoing half-edges of a kind (all kinds if kind < 0) as a
-// zero-allocation view into the CSR layout.
+// zero-allocation view into the CSR layout. Only the owning shard answers.
 func (f *FrozenNet) Out(id NodeID, kind EdgeKind) []HalfEdge {
-	return f.out.slice(id, kind, len(f.nodes))
+	return f.out.slice(NodeID(f.local(id)), kind, len(f.nodes))
 }
 
 // In returns incoming half-edges of a kind (all kinds if kind < 0) as a
-// zero-allocation view into the CSR layout.
+// zero-allocation view into the CSR layout. Only the owning shard answers.
 func (f *FrozenNet) In(id NodeID, kind EdgeKind) []HalfEdge {
-	return f.in.slice(id, kind, len(f.nodes))
+	return f.in.slice(NodeID(f.local(id)), kind, len(f.nodes))
 }
 
 // NodesOfKind returns all node IDs in one layer, precomputed at freeze
@@ -266,15 +350,18 @@ func (v *visitState) next() {
 // traverse runs the isA/instanceOf BFS over one CSR direction. When target
 // is a valid node it stops early and reports reachability; otherwise it
 // appends visited ids (excluding start, BFS order) to dst. dst is returned
-// unchanged for invalid start ids.
+// unchanged for invalid start ids. On a shard the BFS is shard-local: an
+// edge to a node the shard does not own is not followed (a whole-net freeze
+// owns every peer, so this never triggers for it) — cross-shard traversal
+// is the ShardSet's job.
 func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID, dst []NodeID, collect bool) ([]NodeID, bool) {
-	if start < 0 || int(start) >= len(f.nodes) {
+	if f.local(start) < 0 {
 		return dst, false
 	}
 	v := f.visit.Get().(*visitState)
 	defer f.visit.Put(v)
 	v.next()
-	v.gen[start] = v.epoch
+	v.gen[f.local(start)] = v.epoch
 	v.queue = append(v.queue, frontierEntry{start, 0})
 	n := len(f.nodes)
 	for qi := 0; qi < len(v.queue); qi++ {
@@ -283,11 +370,15 @@ func (f *FrozenNet) traverse(adj *csr, start NodeID, maxDepth int, target NodeID
 			continue
 		}
 		for _, kind := range [2]EdgeKind{EdgeIsA, EdgeInstanceOf} {
-			for _, he := range adj.slice(cur.id, kind, n) {
-				if v.gen[he.Peer] == v.epoch {
+			for _, he := range adj.slice(NodeID(int(cur.id)-int(f.base)), kind, n) {
+				plid := f.local(he.Peer)
+				if plid < 0 {
+					continue // other shard's node: shard-local BFS stops here
+				}
+				if v.gen[plid] == v.epoch {
 					continue
 				}
-				v.gen[he.Peer] = v.epoch
+				v.gen[plid] = v.epoch
 				if he.Peer == target {
 					return dst, true
 				}
@@ -333,7 +424,7 @@ func (f *FrozenNet) AppendDescendants(dst []NodeID, id NodeID, maxDepth int) []N
 // nothing in steady state: the BFS runs on a pooled visited array and stops
 // as soon as anc is found.
 func (f *FrozenNet) IsAncestor(id, anc NodeID) bool {
-	if anc < 0 || int(anc) >= len(f.nodes) || id == anc {
+	if f.local(anc) < 0 || id == anc {
 		return false
 	}
 	_, found := f.traverse(&f.out, id, 0, anc, nil, false)

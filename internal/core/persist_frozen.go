@@ -14,15 +14,25 @@ import (
 //
 // Layout (all integers little-endian, str = u32 length + raw bytes):
 //
+// Version 2 makes a file self-describing as one shard of a partitioned net
+// (see FreezeShards/ShardSet): it records the shard's base ID and the whole
+// net's node count, and — because a shard's two adjacency directions hold
+// different half-edge counts (a cross-shard edge's halves live in different
+// files) — the out and in edge counts separately. A whole-net snapshot is
+// the base=0, total=nodeCount case of the same layout.
+//
 //	magic   "ACFZ"
 //	version u16
 //	--- body, covered by the trailing CRC-32 (IEEE) ---
 //	u8  numKinds      (must match this build)
 //	u8  numEdgeKinds  (must match this build)
-//	u32 nodeCount
-//	u32 edgeCount     (logical edges; == len(out.edges) == len(in.edges))
+//	u32 nodeCount     (nodes this file holds)
+//	u32 base          (first global node ID; IDs are base..base+nodeCount-1)
+//	u32 totalNodes    (whole net's node count; peers are validated against it)
+//	u32 outEdgeCount  (== len(out.edges))
+//	u32 inEdgeCount   (== len(in.edges))
 //	rel table: u32 count, count × str          (interned HalfEdge.Rel values)
-//	nodes:     nodeCount × (u8 kind, str name, str domain)   (ID = index)
+//	nodes:     nodeCount × (u8 kind, str name, str domain)   (ID = base+index)
 //	byName:    u32 entries, each str name + u32 cnt + cnt × u32 id
 //	byKind:    numKinds × (u32 cnt + cnt × u32 id)
 //	out CSR:   u32 offLen + offLen × u32 (bulk), u32 edgeCount + 16-byte records (bulk)
@@ -36,7 +46,7 @@ import (
 // sorts.
 
 const (
-	frozenVersion = 1
+	frozenVersion = 2
 
 	// maxFrozenElems bounds every count field in a snapshot; Save enforces
 	// it at write time so every snapshot it produces is loadable, and
@@ -217,9 +227,11 @@ func writeCSR(fw *fzWriter, c *csr, rels *relTable) {
 }
 
 // readCSR reads one direction back and validates its structure: offsets
-// monotone and consistent with the edge count, peers in range, each record's
-// kind agreeing with the CSR group it sits in, rel indexes in range.
-func readCSR(fr *fzReader, dir string, nodeCount, edgeCount int, rels []string) csr {
+// monotone and consistent with the edge count, peers in range (against the
+// whole net's node count — a shard's peers may live in other shards), each
+// record's kind agreeing with the CSR group it sits in, rel indexes in
+// range.
+func readCSR(fr *fzReader, dir string, nodeCount, edgeCount, totalNodes int, rels []string) csr {
 	var c csr
 	offLen := fr.count(dir + " offset")
 	wantOff := nodeCount*int(numEdgeKinds) + 1
@@ -279,7 +291,7 @@ func readCSR(fr *fzReader, dir string, nodeCount, edgeCount int, rels []string) 
 			kindRel := getU32(rec[4:])
 			kind := EdgeKind(kindRel >> 24)
 			relIdx := kindRel & 0xFFFFFF
-			if int(peer) >= nodeCount {
+			if int(peer) >= totalNodes {
 				fr.err = fmt.Errorf("%s edge %d: peer %d out of range", dir, done+i, peer)
 				return c
 			}
@@ -309,39 +321,53 @@ func readCSR(fr *fzReader, dir string, nodeCount, edgeCount int, rels []string) 
 	return c
 }
 
-// Save writes a versioned, checksummed binary snapshot of the frozen net.
-// The format round-trips through LoadFrozen without any rebuild work. Every
-// limit LoadFrozen enforces is checked here first, so Save never produces a
-// file its own loader would reject.
+// Save writes a versioned, checksummed binary snapshot of the frozen net
+// (or one shard of it). The format round-trips through LoadFrozen without
+// any rebuild work. Every limit LoadFrozen enforces is checked here first,
+// so Save never produces a file its own loader would reject.
 func (f *FrozenNet) Save(w io.Writer) error {
+	_, err := f.SaveSum(w)
+	return err
+}
+
+// SaveSum is Save that also returns the body CRC-32 it wrote — the same
+// value LoadFrozen records as Checksum() — so multi-shard writers can build
+// a manifest of per-shard checksums without re-reading the files.
+func (f *FrozenNet) SaveSum(w io.Writer) (uint32, error) {
 	if len(f.nodes) > maxFrozenElems {
-		return fmt.Errorf("core: frozen save: %d nodes exceed format limit %d", len(f.nodes), maxFrozenElems)
+		return 0, fmt.Errorf("core: frozen save: %d nodes exceed format limit %d", len(f.nodes), maxFrozenElems)
 	}
-	if len(f.out.edges) > maxFrozenElems {
-		return fmt.Errorf("core: frozen save: %d edges exceed format limit %d", len(f.out.edges), maxFrozenElems)
+	if f.total > maxFrozenElems {
+		return 0, fmt.Errorf("core: frozen save: %d total nodes exceed format limit %d", f.total, maxFrozenElems)
+	}
+	if len(f.out.edges) > maxFrozenElems || len(f.in.edges) > maxFrozenElems {
+		return 0, fmt.Errorf("core: frozen save: edge count exceeds format limit %d", maxFrozenElems)
 	}
 	for i := range f.nodes {
 		if len(f.nodes[i].Name) > maxFrozenStr || len(f.nodes[i].Domain) > maxFrozenStr {
-			return fmt.Errorf("core: frozen save: node %d name/domain exceeds %d bytes", i, maxFrozenStr)
+			return 0, fmt.Errorf("core: frozen save: node %d name/domain exceeds %d bytes", i, maxFrozenStr)
 		}
 	}
 	head := fzWriter{w: w}
 	head.write(frozenMagic[:])
 	head.u16(frozenVersion)
 	if head.err != nil {
-		return fmt.Errorf("core: frozen save: %w", head.err)
+		return 0, fmt.Errorf("core: frozen save: %w", head.err)
 	}
 
 	rels, err := buildRelTable(&f.out, &f.in)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	crc := crc32.NewIEEE()
 	fw := fzWriter{w: io.MultiWriter(w, crc)}
 	fw.u8(uint8(numKinds))
 	fw.u8(uint8(numEdgeKinds))
 	fw.u32(uint32(len(f.nodes)))
-	fw.u32(uint32(f.edges))
+	fw.u32(uint32(f.base))
+	fw.u32(uint32(f.total))
+	fw.u32(uint32(len(f.out.edges)))
+	fw.u32(uint32(len(f.in.edges)))
 
 	fw.u32(uint32(len(rels.rels)))
 	for _, rel := range rels.rels {
@@ -379,14 +405,15 @@ func (f *FrozenNet) Save(w io.Writer) error {
 	writeCSR(&fw, &f.out, rels)
 	writeCSR(&fw, &f.in, rels)
 	if fw.err != nil {
-		return fmt.Errorf("core: frozen save: %w", fw.err)
+		return 0, fmt.Errorf("core: frozen save: %w", fw.err)
 	}
+	sum := crc.Sum32()
 	tail := fzWriter{w: w}
-	tail.u32(crc.Sum32())
+	tail.u32(sum)
 	if tail.err != nil {
-		return fmt.Errorf("core: frozen save: %w", tail.err)
+		return 0, fmt.Errorf("core: frozen save: %w", tail.err)
 	}
-	return nil
+	return sum, nil
 }
 
 // LoadFrozen reads a snapshot written by (*FrozenNet).Save and returns a
@@ -417,7 +444,13 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 		fr.err = fmt.Errorf("snapshot has %d edge kinds, this build has %d", nek, numEdgeKinds)
 	}
 	nodeCount := fr.count("node")
-	edgeCount := fr.count("edge")
+	base := fr.count("base")
+	totalNodes := fr.count("total node")
+	outEdgeCount := fr.count("out edge")
+	inEdgeCount := fr.count("in edge")
+	if fr.err == nil && base+nodeCount > totalNodes {
+		fr.err = fmt.Errorf("shard [%d,%d) exceeds declared total %d", base, base+nodeCount, totalNodes)
+	}
 
 	relCount := fr.count("rel")
 	var rels []string
@@ -428,7 +461,7 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 		}
 	}
 
-	f := &FrozenNet{}
+	f := &FrozenNet{base: NodeID(base), total: totalNodes}
 	if fr.err == nil {
 		f.nodes = make([]Node, 0, prealloc(nodeCount))
 		for i := 0; i < nodeCount && fr.err == nil; i++ {
@@ -438,7 +471,7 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 			if fr.err == nil && (kind < 0 || kind >= numKinds) {
 				fr.err = fmt.Errorf("node %d: kind %d out of range", i, kind)
 			}
-			f.nodes = append(f.nodes, Node{ID: NodeID(i), Kind: kind, Name: name, Domain: domain})
+			f.nodes = append(f.nodes, Node{ID: NodeID(base + i), Kind: kind, Name: name, Domain: domain})
 		}
 	}
 
@@ -457,12 +490,12 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 				if fr.err != nil {
 					break
 				}
-				if int(id) >= nodeCount {
-					fr.err = fmt.Errorf("name %q: node id %d out of range", name, id)
+				if int(id) < base || int(id) >= base+nodeCount {
+					fr.err = fmt.Errorf("name %q: node id %d outside shard range", name, id)
 					break
 				}
-				if f.nodes[id].Name != name {
-					fr.err = fmt.Errorf("name index %q points at node %d named %q", name, id, f.nodes[id].Name)
+				if f.nodes[int(id)-base].Name != name {
+					fr.err = fmt.Errorf("name index %q points at node %d named %q", name, id, f.nodes[int(id)-base].Name)
 					break
 				}
 				ids = append(ids, NodeID(id))
@@ -482,12 +515,12 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 			if fr.err != nil {
 				break
 			}
-			if int(id) >= nodeCount {
-				fr.err = fmt.Errorf("kind %d index: node id %d out of range", k, id)
+			if int(id) < base || int(id) >= base+nodeCount {
+				fr.err = fmt.Errorf("kind %d index: node id %d outside shard range", k, id)
 				break
 			}
-			if f.nodes[id].Kind != NodeKind(k) {
-				fr.err = fmt.Errorf("kind %d index holds node %d of kind %d", k, id, f.nodes[id].Kind)
+			if f.nodes[int(id)-base].Kind != NodeKind(k) {
+				fr.err = fmt.Errorf("kind %d index holds node %d of kind %d", k, id, f.nodes[int(id)-base].Kind)
 				break
 			}
 			ids = append(ids, NodeID(id))
@@ -496,15 +529,15 @@ func LoadFrozen(r io.Reader) (*FrozenNet, error) {
 	}
 
 	if fr.err == nil {
-		f.out = readCSR(&fr, "out", nodeCount, edgeCount, rels)
+		f.out = readCSR(&fr, "out", nodeCount, outEdgeCount, totalNodes, rels)
 	}
 	if fr.err == nil {
-		f.in = readCSR(&fr, "in", nodeCount, edgeCount, rels)
+		f.in = readCSR(&fr, "in", nodeCount, inEdgeCount, totalNodes, rels)
 	}
 	if fr.err == nil {
-		// The logical edge counter is not trusted beyond the per-direction
-		// agreement already enforced by readCSR: it must equal the number
-		// of half-edges in each direction.
+		// The logical edge counter is not trusted beyond the header/CSR
+		// agreement already enforced by readCSR; the shard's logical count
+		// is its out-half-edge count, so shard counts sum to the net's.
 		f.edges = len(f.out.edges)
 	}
 	if fr.err != nil {

@@ -212,9 +212,9 @@ func TestLoadFrozenStructuralCorruption(t *testing.T) {
 		{"kind index id mismatch", func(f *FrozenNet) {
 			f.byKind[KindClass][0] = f.byKind[KindItem][0]
 		}, "kind"},
-		{"edge counter mismatch", func(f *FrozenNet) {
-			f.edges += 3
-		}, "disagrees with header"},
+		{"shard range exceeds declared total", func(f *FrozenNet) {
+			f.total--
+		}, "declared total"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -235,18 +235,22 @@ func TestLoadFrozenStructuralCorruption(t *testing.T) {
 // element counts must fail on the missing data without the claimed counts
 // driving allocation (slices only grow as genuine bytes arrive).
 func TestLoadFrozenHugeClaimedCounts(t *testing.T) {
-	huge := []byte{0, 0, 0, 8}          // 1<<27, exactly at the cap
-	buf := append([]byte("ACFZ"), 1, 0) // magic + version
+	huge := []byte{0, 0, 0, 8} // 1<<27, exactly at the cap
+	zero := []byte{0, 0, 0, 0}
+	buf := append([]byte("ACFZ"), 2, 0) // magic + version
 	buf = append(buf, 4, 6)             // numKinds, numEdgeKinds
 	buf = append(buf, huge...)          // nodeCount
-	buf = append(buf, huge...)          // edgeCount
+	buf = append(buf, zero...)          // base
+	buf = append(buf, huge...)          // totalNodes
+	buf = append(buf, huge...)          // outEdgeCount
+	buf = append(buf, huge...)          // inEdgeCount
 	buf = append(buf, huge...)          // relCount, then EOF
 	if _, err := LoadFrozen(bytes.NewReader(buf)); err == nil {
 		t.Fatal("truncated file with huge claimed counts loaded successfully")
 	}
 	// Above the cap the count itself is rejected.
 	over := []byte{1, 0, 0, 8} // 1<<27 + 1
-	buf = append([]byte("ACFZ"), 1, 0)
+	buf = append([]byte("ACFZ"), 2, 0)
 	buf = append(buf, 4, 6)
 	buf = append(buf, over...)
 	if _, err := LoadFrozen(bytes.NewReader(buf)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {

@@ -75,4 +75,5 @@ type Reader interface {
 var (
 	_ Reader = (*Net)(nil)
 	_ Reader = (*FrozenNet)(nil)
+	_ Reader = (*ShardSet)(nil)
 )

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"alicoco/internal/par"
+)
+
+// ShardSet serves a net partitioned into N independently frozen shards (see
+// FreezeShards) as one Reader. The partition is a contiguous node-ID range
+// split with a fixed stride, so every point lookup — Node, Out, In, the
+// concept-card postings — routes to its owning shard with one division and
+// stays a zero-allocation CSR slice; only name resolution (scanned across
+// shards in ascending order, which reproduces whole-net insertion order)
+// and the isA/instanceOf traversals (run at the set level so they can cross
+// shard boundaries) touch more than one shard.
+//
+// A ShardSet is immutable after NewShardSet and safe for unlimited
+// concurrent use, like the FrozenNets it wraps. Reloading one shard means
+// building a new ShardSet sharing the unchanged shard pointers and swapping
+// it in atomically — readers pinned to the old set keep a consistent view.
+type ShardSet struct {
+	shards []*FrozenNet
+	stride int
+	total  int
+	edges  int
+
+	// byKind concatenates the shards' per-layer indexes in shard order at
+	// construction, so NodesOfKind stays a read-only view like FrozenNet's.
+	byKind [numKinds][]NodeID
+
+	visit sync.Pool // *visitState with gen sized to total, for cross-shard BFS
+}
+
+// NewShardSet assembles frozen shards into one serving view. The shards
+// must be the complete, in-order output of one FreezeShards partition (or
+// per-shard reloads of it): same declared total, contiguous bases matching
+// the stride layout. Any mismatch is an assembly bug or a manifest/file
+// mix-up, and is rejected rather than served.
+func NewShardSet(shards []*FrozenNet) (*ShardSet, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shardset: no shards")
+	}
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("shardset: shard %d is nil", i)
+		}
+	}
+	total := shards[0].total
+	stride := ShardStride(total, len(shards))
+	for i, sh := range shards {
+		if sh.total != total {
+			return nil, fmt.Errorf("shardset: shard %d declares total %d, shard 0 declares %d", i, sh.total, total)
+		}
+		wantBase := min(i*stride, total)
+		wantLen := min(wantBase+stride, total) - wantBase
+		if int(sh.base) != wantBase || len(sh.nodes) != wantLen {
+			return nil, fmt.Errorf("shardset: shard %d covers [%d,%d), want [%d,%d)",
+				i, sh.base, int(sh.base)+len(sh.nodes), wantBase, wantBase+wantLen)
+		}
+	}
+	s := &ShardSet{shards: shards, stride: stride, total: total}
+	for _, sh := range shards {
+		s.edges += sh.edges
+	}
+	for k := 0; k < int(numKinds); k++ {
+		n := 0
+		for _, sh := range shards {
+			n += len(sh.byKind[k])
+		}
+		if n == 0 {
+			continue
+		}
+		ids := make([]NodeID, 0, n)
+		for _, sh := range shards {
+			ids = append(ids, sh.byKind[k]...)
+		}
+		s.byKind[k] = ids
+	}
+	s.visit.New = func() any {
+		return &visitState{gen: make([]uint32, total)}
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count of the partition.
+func (s *ShardSet) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i (panics when out of range, like slice indexing).
+func (s *ShardSet) Shard(i int) *FrozenNet { return s.shards[i] }
+
+// Shards returns the shard list as a read-only view.
+func (s *ShardSet) Shards() []*FrozenNet { return s.shards }
+
+// Stride returns the node count each non-trailing shard owns.
+func (s *ShardSet) Stride() int { return s.stride }
+
+// owner returns the shard owning a global node ID, or nil for out-of-range
+// ids.
+func (s *ShardSet) owner(id NodeID) *FrozenNet {
+	if id < 0 || int(id) >= s.total {
+		return nil
+	}
+	return s.shards[int(id)/s.stride]
+}
+
+// Node returns the node for id; ok is false for invalid ids.
+func (s *ShardSet) Node(id NodeID) (Node, bool) {
+	sh := s.owner(id)
+	if sh == nil {
+		return Node{}, false
+	}
+	return sh.nodes[int(id)-int(sh.base)], true
+}
+
+// NumNodes returns the node count across all shards.
+func (s *ShardSet) NumNodes() int { return s.total }
+
+// NumEdges returns the edge count across all shards.
+func (s *ShardSet) NumEdges() int { return s.edges }
+
+// FindByName returns all nodes with the given surface form, in whole-net
+// insertion order. When one shard holds every match — the common case — the
+// result is that shard's read-only view and the call allocates nothing;
+// only names straddling a shard boundary pay for a merged copy.
+func (s *ShardSet) FindByName(name string) []NodeID {
+	var single []NodeID
+	n, hits := 0, 0
+	for _, sh := range s.shards {
+		if ids := sh.byName[name]; len(ids) > 0 {
+			single = ids
+			n += len(ids)
+			hits++
+		}
+	}
+	if hits <= 1 {
+		return single
+	}
+	merged := make([]NodeID, 0, n)
+	for _, sh := range s.shards {
+		merged = append(merged, sh.byName[name]...)
+	}
+	return merged
+}
+
+// FindByNameKind returns nodes with the given name in one layer.
+func (s *ShardSet) FindByNameKind(name string, kind NodeKind) []NodeID {
+	return s.AppendFindByNameKind(nil, name, kind)
+}
+
+// AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
+func (s *ShardSet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID {
+	for _, sh := range s.shards {
+		dst = sh.AppendFindByNameKind(dst, name, kind)
+	}
+	return dst
+}
+
+// FirstByNameKind returns the first matching node or InvalidNode. Shards
+// are scanned in ascending order, which reproduces whole-net insertion
+// order because node IDs are assigned sequentially.
+func (s *ShardSet) FirstByNameKind(name string, kind NodeKind) NodeID {
+	for _, sh := range s.shards {
+		if id := sh.FirstByNameKind(name, kind); id != InvalidNode {
+			return id
+		}
+	}
+	return InvalidNode
+}
+
+// FirstByNameKindBytes is FirstByNameKind keyed by a caller-owned byte
+// buffer; each per-shard probe is the allocation-free map lookup, so the
+// scatter costs N map probes and zero allocations.
+func (s *ShardSet) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
+	for _, sh := range s.shards {
+		if id := sh.FirstByNameKindBytes(name, kind); id != InvalidNode {
+			return id
+		}
+	}
+	return InvalidNode
+}
+
+// Out returns outgoing half-edges of a kind (all kinds if kind < 0), served
+// as a zero-allocation view from the owning shard.
+func (s *ShardSet) Out(id NodeID, kind EdgeKind) []HalfEdge {
+	sh := s.owner(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.out.slice(NodeID(int(id)-int(sh.base)), kind, len(sh.nodes))
+}
+
+// In returns incoming half-edges of a kind (all kinds if kind < 0), served
+// as a zero-allocation view from the owning shard.
+func (s *ShardSet) In(id NodeID, kind EdgeKind) []HalfEdge {
+	sh := s.owner(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.in.slice(NodeID(int(id)-int(sh.base)), kind, len(sh.nodes))
+}
+
+// NodesOfKind returns all node IDs in one layer as a read-only view,
+// concatenated across shards at construction time.
+func (s *ShardSet) NodesOfKind(kind NodeKind) []NodeID {
+	if kind < 0 || kind >= numKinds {
+		return nil
+	}
+	return s.byKind[kind]
+}
+
+// ItemsForEConcept returns items associated with an e-commerce concept,
+// best-weight first, up to limit (limit <= 0 means all). A node's full
+// posting list lives in its owning shard, so this is the same slice window
+// as the unsharded read.
+func (s *ShardSet) ItemsForEConcept(id NodeID, limit int) []HalfEdge {
+	items := s.In(id, EdgeItemEConcept)
+	if limit > 0 && len(items) > limit {
+		items = items[:limit]
+	}
+	return items
+}
+
+// AppendItemsForEConcept is ItemsForEConcept into a caller-owned buffer.
+func (s *ShardSet) AppendItemsForEConcept(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	return append(dst, s.ItemsForEConcept(id, limit)...)
+}
+
+// EConceptsForItem returns the e-commerce concepts an item serves,
+// best-weight first, up to limit (limit <= 0 means all).
+func (s *ShardSet) EConceptsForItem(id NodeID, limit int) []HalfEdge {
+	out := s.Out(id, EdgeItemEConcept)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// AppendEConceptsForItem is EConceptsForItem into a caller-owned buffer.
+func (s *ShardSet) AppendEConceptsForItem(dst []HalfEdge, id NodeID, limit int) []HalfEdge {
+	return append(dst, s.EConceptsForItem(id, limit)...)
+}
+
+// PrimitivesForEConcept returns the primitive concepts interpreting an
+// e-commerce concept.
+func (s *ShardSet) PrimitivesForEConcept(id NodeID) []HalfEdge {
+	return s.Out(id, EdgeInterpretedBy)
+}
+
+// traverse is the cross-shard isA/instanceOf BFS: same visit order as
+// (*FrozenNet).traverse on the unsharded net — the frontier carries global
+// IDs and each expansion reads the owning shard's CSR — but the visited set
+// spans the whole ID space, so walks cross shard boundaries freely. dir
+// selects the out (ancestors) or in (descendants) adjacency.
+func (s *ShardSet) traverse(dir int, start NodeID, maxDepth int, target NodeID, dst []NodeID, collect bool) ([]NodeID, bool) {
+	if s.owner(start) == nil {
+		return dst, false
+	}
+	v := s.visit.Get().(*visitState)
+	defer s.visit.Put(v)
+	v.next()
+	v.gen[start] = v.epoch
+	v.queue = append(v.queue, frontierEntry{start, 0})
+	for qi := 0; qi < len(v.queue); qi++ {
+		cur := v.queue[qi]
+		if maxDepth > 0 && int(cur.depth) >= maxDepth {
+			continue
+		}
+		sh := s.shards[int(cur.id)/s.stride]
+		adj := &sh.out
+		if dir != 0 {
+			adj = &sh.in
+		}
+		lid := NodeID(int(cur.id) - int(sh.base))
+		for _, kind := range [2]EdgeKind{EdgeIsA, EdgeInstanceOf} {
+			for _, he := range adj.slice(lid, kind, len(sh.nodes)) {
+				if v.gen[he.Peer] == v.epoch {
+					continue
+				}
+				v.gen[he.Peer] = v.epoch
+				if he.Peer == target {
+					return dst, true
+				}
+				if collect {
+					dst = append(dst, he.Peer)
+				}
+				v.queue = append(v.queue, frontierEntry{he.Peer, cur.depth + 1})
+			}
+		}
+	}
+	return dst, false
+}
+
+// Ancestors walks EdgeIsA/EdgeInstanceOf upward from id (BFS) up to
+// maxDepth levels (maxDepth <= 0 means unlimited), excluding id.
+func (s *ShardSet) Ancestors(id NodeID, maxDepth int) []NodeID {
+	out, _ := s.traverse(0, id, maxDepth, InvalidNode, nil, true)
+	return out
+}
+
+// AppendAncestors is Ancestors into a caller-owned buffer.
+func (s *ShardSet) AppendAncestors(dst []NodeID, id NodeID, maxDepth int) []NodeID {
+	dst, _ = s.traverse(0, id, maxDepth, InvalidNode, dst, true)
+	return dst
+}
+
+// Descendants walks EdgeIsA/EdgeInstanceOf downward (incoming edges).
+func (s *ShardSet) Descendants(id NodeID, maxDepth int) []NodeID {
+	out, _ := s.traverse(1, id, maxDepth, InvalidNode, nil, true)
+	return out
+}
+
+// AppendDescendants is Descendants into a caller-owned buffer.
+func (s *ShardSet) AppendDescendants(dst []NodeID, id NodeID, maxDepth int) []NodeID {
+	dst, _ = s.traverse(1, id, maxDepth, InvalidNode, dst, true)
+	return dst
+}
+
+// IsAncestor reports whether anc is reachable upward from id.
+func (s *ShardSet) IsAncestor(id, anc NodeID) bool {
+	if s.owner(anc) == nil || id == anc {
+		return false
+	}
+	_, found := s.traverse(0, id, 0, anc, nil, false)
+	return found
+}
+
+// ComputeStats summarizes the whole partition: the per-shard passes run in
+// parallel (each shard only reads its own storage), then merge.
+func (s *ShardSet) ComputeStats() Stats {
+	perShard := make([]Stats, len(s.shards))
+	par.For(0, len(s.shards), func(i int) {
+		perShard[i] = s.shards[i].ComputeStats()
+	})
+	m := Stats{
+		PerKind:         make(map[string]int),
+		PrimitivesByDom: make(map[string]int),
+		EdgesByKind:     make(map[string]int),
+	}
+	for _, ps := range perShard {
+		m.Nodes += ps.Nodes
+		m.Edges += ps.Edges
+		m.IsAPrimitive += ps.IsAPrimitive
+		m.IsAEConcept += ps.IsAEConcept
+		for k, v := range ps.PerKind {
+			m.PerKind[k] += v
+		}
+		for k, v := range ps.PrimitivesByDom {
+			m.PrimitivesByDom[k] += v
+		}
+		for k, v := range ps.EdgesByKind {
+			m.EdgesByKind[k] += v
+		}
+	}
+	items := m.PerKind[KindItem.String()]
+	econcepts := m.PerKind[KindEConcept.String()]
+	itemPrim := m.EdgesByKind[EdgeItemPrimitive.String()]
+	itemEcpt := m.EdgesByKind[EdgeItemEConcept.String()]
+	ecptPrim := m.EdgesByKind[EdgeInterpretedBy.String()]
+	if items > 0 {
+		m.AvgPrimitivesPerItem = float64(itemPrim) / float64(items)
+		m.AvgEConceptsPerItem = float64(itemEcpt) / float64(items)
+	}
+	if econcepts > 0 {
+		m.AvgItemsPerEConcept = float64(itemEcpt) / float64(econcepts)
+		m.AvgPrimsPerEConcept = float64(ecptPrim) / float64(econcepts)
+	}
+	return m
+}

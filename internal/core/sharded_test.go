@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shardCounts are the partition widths the equivalence suite runs: the N=1
+// degenerate case, counts that divide the net unevenly, and counts larger
+// than some test nets (empty trailing shards).
+var shardCounts = []int{1, 2, 3, 5, 16}
+
+func newShardSet(t testing.TB, n *Net, count int) *ShardSet {
+	t.Helper()
+	s, err := NewShardSet(n.FreezeShards(count))
+	if err != nil {
+		t.Fatalf("NewShardSet(%d): %v", count, err)
+	}
+	return s
+}
+
+// TestShardSetEquivalenceRandomized proves the scatter-gather Reader is
+// indistinguishable from the whole-net FrozenNet: every Reader method, on
+// randomized nets partitioned N ways, must return exactly what the
+// unsharded snapshot returns — same elements, same order — because both
+// sort postings at freeze time from identical per-node segments and both
+// expand BFS frontiers in the same order.
+func TestShardSetEquivalenceRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n := buildRandomNet(t, seed)
+		f := n.Freeze()
+		for _, count := range shardCounts {
+			s := newShardSet(t, n, count)
+			ctx := fmt.Sprintf("seed %d shards %d", seed, count)
+			if s.NumNodes() != f.NumNodes() || s.NumEdges() != f.NumEdges() {
+				t.Fatalf("%s: counts differ (%d/%d nodes, %d/%d edges)",
+					ctx, s.NumNodes(), f.NumNodes(), s.NumEdges(), f.NumEdges())
+			}
+			for id := NodeID(-2); int(id) < f.NumNodes()+2; id++ {
+				fn, fok := f.Node(id)
+				sn, sok := s.Node(id)
+				if fok != sok || fn != sn {
+					t.Fatalf("%s: Node(%d) differs", ctx, id)
+				}
+				for kind := EdgeKind(-1); kind < numEdgeKinds; kind++ {
+					if !edgesEqual(f.Out(id, kind), s.Out(id, kind)) {
+						t.Fatalf("%s: Out(%d,%v) differs:\nfrozen  %v\nsharded %v",
+							ctx, id, kind, f.Out(id, kind), s.Out(id, kind))
+					}
+					if !edgesEqual(f.In(id, kind), s.In(id, kind)) {
+						t.Fatalf("%s: In(%d,%v) differs", ctx, id, kind)
+					}
+				}
+				for _, depth := range []int{0, 1, 2} {
+					if !idsEqual(f.Ancestors(id, depth), s.Ancestors(id, depth)) {
+						t.Fatalf("%s: Ancestors(%d,%d) differ:\nfrozen  %v\nsharded %v",
+							ctx, id, depth, f.Ancestors(id, depth), s.Ancestors(id, depth))
+					}
+					if !idsEqual(f.Descendants(id, depth), s.Descendants(id, depth)) {
+						t.Fatalf("%s: Descendants(%d,%d) differ", ctx, id, depth)
+					}
+				}
+				for anc := NodeID(0); int(anc) < f.NumNodes(); anc += 3 {
+					if f.IsAncestor(id, anc) != s.IsAncestor(id, anc) {
+						t.Fatalf("%s: IsAncestor(%d,%d) differs", ctx, id, anc)
+					}
+				}
+			}
+			for kind := NodeKind(0); kind < numKinds; kind++ {
+				if !idsEqual(f.NodesOfKind(kind), s.NodesOfKind(kind)) {
+					t.Fatalf("%s: NodesOfKind(%v) differ", ctx, kind)
+				}
+			}
+			for _, ec := range f.NodesOfKind(KindEConcept) {
+				for _, limit := range []int{0, 1, 3} {
+					if !edgesEqual(f.ItemsForEConcept(ec, limit), s.ItemsForEConcept(ec, limit)) {
+						t.Fatalf("%s: ItemsForEConcept(%d,%d) differs", ctx, ec, limit)
+					}
+				}
+				if !edgesEqual(f.PrimitivesForEConcept(ec), s.PrimitivesForEConcept(ec)) {
+					t.Fatalf("%s: PrimitivesForEConcept(%d) differs", ctx, ec)
+				}
+			}
+			for _, it := range f.NodesOfKind(KindItem) {
+				if !edgesEqual(f.EConceptsForItem(it, 5), s.EConceptsForItem(it, 5)) {
+					t.Fatalf("%s: EConceptsForItem(%d) differs", ctx, it)
+				}
+			}
+			for id := NodeID(0); int(id) < f.NumNodes(); id++ {
+				nd, _ := f.Node(id)
+				if !idsEqual(f.FindByName(nd.Name), s.FindByName(nd.Name)) {
+					t.Fatalf("%s: FindByName(%q) differs", ctx, nd.Name)
+				}
+				if !idsEqual(f.FindByNameKind(nd.Name, nd.Kind), s.FindByNameKind(nd.Name, nd.Kind)) {
+					t.Fatalf("%s: FindByNameKind(%q) differs", ctx, nd.Name)
+				}
+				if f.FirstByNameKind(nd.Name, nd.Kind) != s.FirstByNameKind(nd.Name, nd.Kind) {
+					t.Fatalf("%s: FirstByNameKind(%q) differs", ctx, nd.Name)
+				}
+				if f.FirstByNameKindBytes([]byte(nd.Name), nd.Kind) != s.FirstByNameKindBytes([]byte(nd.Name), nd.Kind) {
+					t.Fatalf("%s: FirstByNameKindBytes(%q) differs", ctx, nd.Name)
+				}
+			}
+			if f.FindByName("no such name") != nil || s.FindByName("no such name") != nil {
+				t.Fatalf("%s: missing name should resolve to nil", ctx)
+			}
+		}
+	}
+}
+
+// TestShardSetAppendVariants: the Append* scatter methods write after the
+// caller's prefix exactly like the unsharded ones.
+func TestShardSetAppendVariants(t *testing.T) {
+	n := buildRandomNet(t, 31)
+	f := n.Freeze()
+	s := newShardSet(t, n, 4)
+	prefix := []NodeID{-7}
+	for id := NodeID(0); int(id) < f.NumNodes(); id++ {
+		nd, _ := f.Node(id)
+		if got, want := s.AppendAncestors(append([]NodeID(nil), prefix...), id, 0),
+			f.AppendAncestors(append([]NodeID(nil), prefix...), id, 0); !idsEqual(got, want) {
+			t.Fatalf("AppendAncestors(%d): got %v want %v", id, got, want)
+		}
+		if got, want := s.AppendDescendants(append([]NodeID(nil), prefix...), id, 2),
+			f.AppendDescendants(append([]NodeID(nil), prefix...), id, 2); !idsEqual(got, want) {
+			t.Fatalf("AppendDescendants(%d): got %v want %v", id, got, want)
+		}
+		if got, want := s.AppendItemsForEConcept(nil, id, 4),
+			f.AppendItemsForEConcept(nil, id, 4); !edgesEqual(got, want) {
+			t.Fatalf("AppendItemsForEConcept(%d) differs", id)
+		}
+		if got, want := s.AppendEConceptsForItem(nil, id, 4),
+			f.AppendEConceptsForItem(nil, id, 4); !edgesEqual(got, want) {
+			t.Fatalf("AppendEConceptsForItem(%d) differs", id)
+		}
+		if got, want := s.AppendFindByNameKind(append([]NodeID(nil), prefix...), nd.Name, nd.Kind),
+			f.AppendFindByNameKind(append([]NodeID(nil), prefix...), nd.Name, nd.Kind); !idsEqual(got, want) {
+			t.Fatalf("AppendFindByNameKind(%q) differs", nd.Name)
+		}
+	}
+}
+
+// TestShardSetStatsMatchFrozen: merged per-shard stats equal the whole-net
+// pass, including the recomputed averages.
+func TestShardSetStatsMatchFrozen(t *testing.T) {
+	n := buildRandomNet(t, 7)
+	fs := n.Freeze().ComputeStats()
+	for _, count := range shardCounts {
+		ss := newShardSet(t, n, count).ComputeStats()
+		if fs.Nodes != ss.Nodes || fs.Edges != ss.Edges ||
+			fs.IsAPrimitive != ss.IsAPrimitive || fs.IsAEConcept != ss.IsAEConcept ||
+			fs.AvgPrimitivesPerItem != ss.AvgPrimitivesPerItem ||
+			fs.AvgEConceptsPerItem != ss.AvgEConceptsPerItem ||
+			fs.AvgItemsPerEConcept != ss.AvgItemsPerEConcept ||
+			fs.AvgPrimsPerEConcept != ss.AvgPrimsPerEConcept {
+			t.Fatalf("shards %d: stats differ:\nfrozen  %+v\nsharded %+v", count, fs, ss)
+		}
+		for _, pair := range []struct{ f, s map[string]int }{
+			{fs.PerKind, ss.PerKind}, {fs.PrimitivesByDom, ss.PrimitivesByDom}, {fs.EdgesByKind, ss.EdgesByKind},
+		} {
+			if len(pair.f) != len(pair.s) {
+				t.Fatalf("shards %d: stats map sizes differ", count)
+			}
+			for k, v := range pair.f {
+				if pair.s[k] != v {
+					t.Fatalf("shards %d: stats map key %q differs", count, k)
+				}
+			}
+		}
+	}
+}
+
+// TestShardIsShardLocal: one shard out of a partition answers only for its
+// own ID range and never follows edges out of it.
+func TestShardIsShardLocal(t *testing.T) {
+	n := buildRandomNet(t, 11)
+	shards := n.FreezeShards(3)
+	sh := shards[1]
+	if sh.Base() == 0 || sh.NumNodes() == 0 {
+		t.Fatalf("unexpected partition: base %d, %d nodes", sh.Base(), sh.NumNodes())
+	}
+	if sh.TotalNodes() != n.NumNodes() {
+		t.Fatalf("TotalNodes %d, want %d", sh.TotalNodes(), n.NumNodes())
+	}
+	if _, ok := sh.Node(0); ok {
+		t.Fatal("shard 1 resolved shard 0's node")
+	}
+	if _, ok := sh.Node(sh.Base()); !ok {
+		t.Fatal("shard 1 did not resolve its own base node")
+	}
+	if sh.Out(0, -1) != nil || sh.In(0, -1) != nil {
+		t.Fatal("shard 1 returned adjacency for shard 0's node")
+	}
+	for lid := 0; lid < sh.NumNodes(); lid++ {
+		id := sh.Base() + NodeID(lid)
+		for _, anc := range sh.Ancestors(id, 0) {
+			if int(anc) < int(sh.Base()) || int(anc) >= int(sh.Base())+sh.NumNodes() {
+				t.Fatalf("shard-local Ancestors(%d) escaped the shard: %d", id, anc)
+			}
+		}
+	}
+}
+
+// TestNewShardSetValidation: assemblies that are not the complete in-order
+// output of one partition are rejected.
+func TestNewShardSetValidation(t *testing.T) {
+	n := buildRandomNet(t, 13)
+	shards := n.FreezeShards(4)
+	cases := []struct {
+		name    string
+		shards  []*FrozenNet
+		errWant string
+	}{
+		{"empty", nil, "no shards"},
+		{"nil shard", []*FrozenNet{shards[0], nil}, "nil"},
+		{"missing shard", shards[:3], "covers"},
+		{"out of order", []*FrozenNet{shards[1], shards[0], shards[2], shards[3]}, "covers"},
+		{"duplicate shard", []*FrozenNet{shards[0], shards[0], shards[2], shards[3]}, "covers"},
+		{"foreign total", []*FrozenNet{shards[0], buildRandomNet(t, 14).FreezeShards(4)[1], shards[2], shards[3]}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewShardSet(tc.shards)
+			if err == nil {
+				t.Fatal("invalid shard assembly accepted")
+			}
+			if tc.errWant != "" && !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+	if _, err := NewShardSet(shards); err != nil {
+		t.Fatalf("valid assembly rejected: %v", err)
+	}
+}
+
+// TestShardSaveLoadRoundTrip: each shard persists and reloads on its own
+// (format v2 carries base/total), and the reloaded set still matches the
+// unsharded net.
+func TestShardSaveLoadRoundTrip(t *testing.T) {
+	n := buildRandomNet(t, 21)
+	f := n.Freeze()
+	shards := n.FreezeShards(3)
+	reloaded := make([]*FrozenNet, len(shards))
+	for i, sh := range shards {
+		var buf bytes.Buffer
+		sum, err := sh.SaveSum(&buf)
+		if err != nil {
+			t.Fatalf("shard %d save: %v", i, err)
+		}
+		r, err := LoadFrozen(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("shard %d load: %v", i, err)
+		}
+		if r.Checksum() != sum {
+			t.Fatalf("shard %d: SaveSum returned %08x, loader recorded %08x", i, sum, r.Checksum())
+		}
+		if r.Base() != sh.Base() || r.NumNodes() != sh.NumNodes() || r.TotalNodes() != sh.TotalNodes() {
+			t.Fatalf("shard %d: geometry changed across round trip", i)
+		}
+		reloaded[i] = r
+	}
+	s, err := NewShardSet(reloaded)
+	if err != nil {
+		t.Fatalf("NewShardSet(reloaded): %v", err)
+	}
+	for id := NodeID(0); int(id) < f.NumNodes(); id++ {
+		if !edgesEqual(f.Out(id, -1), s.Out(id, -1)) || !edgesEqual(f.In(id, -1), s.In(id, -1)) {
+			t.Fatalf("adjacency of %d differs after round trip", id)
+		}
+		if !idsEqual(f.Ancestors(id, 0), s.Ancestors(id, 0)) {
+			t.Fatalf("Ancestors(%d) differ after round trip", id)
+		}
+	}
+}
+
+// TestShardedReadZeroAllocs is the scatter-gather alloc guard: every hot
+// point lookup on an N=4 set must stay allocation-free, like the unsharded
+// reads it routes to.
+func TestShardedReadZeroAllocs(t *testing.T) {
+	n := buildRandomNet(t, 5)
+	s := newShardSet(t, n, 4)
+	var ec, item NodeID = InvalidNode, InvalidNode
+	if ids := s.NodesOfKind(KindEConcept); len(ids) > 0 {
+		ec = ids[len(ids)/2]
+	}
+	if ids := s.NodesOfKind(KindItem); len(ids) > 0 {
+		item = ids[len(ids)/2]
+	}
+	name := []byte("concept0")
+	zeroAllocs(t, "ShardSet.Node", func() { s.Node(item) })
+	zeroAllocs(t, "ShardSet.Out", func() { s.Out(ec, EdgeInterpretedBy) })
+	zeroAllocs(t, "ShardSet.In", func() { s.In(ec, EdgeItemEConcept) })
+	zeroAllocs(t, "ShardSet.ItemsForEConcept", func() { s.ItemsForEConcept(ec, 10) })
+	zeroAllocs(t, "ShardSet.EConceptsForItem", func() { s.EConceptsForItem(item, 10) })
+	zeroAllocs(t, "ShardSet.FindByName", func() { s.FindByName("concept0") })
+	zeroAllocs(t, "ShardSet.FirstByNameKindBytes", func() { s.FirstByNameKindBytes(name, KindEConcept) })
+	zeroAllocs(t, "ShardSet.NodesOfKind", func() { s.NodesOfKind(KindItem) })
+	zeroAllocs(t, "ShardSet.IsAncestor", func() { s.IsAncestor(item, ec) })
+	dst := make([]NodeID, 0, s.NumNodes())
+	zeroAllocs(t, "ShardSet.AppendAncestors", func() { dst = s.AppendAncestors(dst[:0], item, 0) })
+	zeroAllocs(t, "ShardSet.AppendDescendants", func() { dst = s.AppendDescendants(dst[:0], ec, 0) })
+	edges := make([]HalfEdge, 0, s.NumNodes())
+	zeroAllocs(t, "ShardSet.AppendItemsForEConcept", func() { edges = s.AppendItemsForEConcept(edges[:0], ec, 0) })
+}
+
+// TestShardSetConcurrentReads hammers the scatter-gather paths from many
+// goroutines; run with -race (the shared visit pool and the per-shard pools
+// are the parts that could regress).
+func TestShardSetConcurrentReads(t *testing.T) {
+	n := buildRandomNet(t, 99)
+	s := newShardSet(t, n, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := NodeID((g*31 + i) % s.NumNodes())
+				s.Out(id, EdgeIsA)
+				s.In(id, -1)
+				s.Ancestors(id, 0)
+				s.Descendants(id, 2)
+				s.IsAncestor(id, NodeID(i%s.NumNodes()))
+				s.ItemsForEConcept(id, 5)
+				s.EConceptsForItem(id, 5)
+				s.NodesOfKind(KindItem)
+				nd, _ := s.Node(id)
+				s.FindByName(nd.Name)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -80,6 +80,12 @@ type Artifacts struct {
 	// Refreeze to publish a fresh snapshot.
 	Frozen *core.FrozenNet
 
+	// Shards is the partitioned form of the same snapshot when the
+	// artifacts came from a sharded snapshot directory (LoadShards) — the
+	// serving layer assembles them into a core.ShardSet. Nil for built and
+	// single-snapshot-loaded artifacts.
+	Shards []*core.FrozenNet
+
 	// Node maps from world IDs to net node IDs.
 	PrimNode  map[int]core.NodeID
 	FrameNode map[int]core.NodeID

@@ -54,6 +54,43 @@ type snapshotExtras struct {
 	Serving   ServingMeta
 }
 
+// servingExtras assembles the gob section from the artifacts' fields.
+func (a *Artifacts) servingExtras() snapshotExtras {
+	return snapshotExtras{
+		PrimNode:  a.PrimNode,
+		FrameNode: a.FrameNode,
+		ItemNode:  a.ItemNode,
+		DomainCls: a.DomainCls,
+		Serving:   *a.Serving,
+	}
+}
+
+// validate checks every node reference in the extras against the node-ID
+// space [0, total) of the net they were saved with.
+func (e *snapshotExtras) validate(total int) error {
+	validID := func(id core.NodeID) bool { return id >= 0 && int(id) < total }
+	for name, m := range map[string]map[int]core.NodeID{
+		"PrimNode": e.PrimNode, "FrameNode": e.FrameNode, "ItemNode": e.ItemNode,
+	} {
+		for k, id := range m {
+			if !validID(id) {
+				return fmt.Errorf("%s[%d] = %d out of range", name, k, id)
+			}
+		}
+	}
+	for d, id := range e.DomainCls {
+		if !validID(id) {
+			return fmt.Errorf("DomainCls[%s] = %d out of range", d, id)
+		}
+	}
+	for i, it := range e.Serving.Items {
+		if !validID(it.Node) {
+			return fmt.Errorf("item %d node %d out of range", i, it.Node)
+		}
+	}
+	return nil
+}
+
 // buildServingMeta derives the serving metadata from the built world.
 func (a *Artifacts) buildServingMeta() *ServingMeta {
 	m := &ServingMeta{Stopwords: a.World.Stopwords()}
@@ -87,13 +124,7 @@ func (a *Artifacts) SaveSnapshot(w io.Writer) error {
 	if err := a.Frozen.Save(w); err != nil {
 		return err
 	}
-	extras := snapshotExtras{
-		PrimNode:  a.PrimNode,
-		FrameNode: a.FrameNode,
-		ItemNode:  a.ItemNode,
-		DomainCls: a.DomainCls,
-		Serving:   *a.Serving,
-	}
+	extras := a.servingExtras()
 	if err := gob.NewEncoder(w).Encode(&extras); err != nil {
 		return fmt.Errorf("pipeline: save snapshot: %w", err)
 	}
@@ -126,26 +157,8 @@ func LoadSnapshot(r io.Reader) (*Artifacts, error) {
 	if err := gob.NewDecoder(r).Decode(&extras); err != nil {
 		return nil, fmt.Errorf("pipeline: load snapshot: %w", err)
 	}
-	n := frozen.NumNodes()
-	validID := func(id core.NodeID) bool { return id >= 0 && int(id) < n }
-	for name, m := range map[string]map[int]core.NodeID{
-		"PrimNode": extras.PrimNode, "FrameNode": extras.FrameNode, "ItemNode": extras.ItemNode,
-	} {
-		for k, id := range m {
-			if !validID(id) {
-				return nil, fmt.Errorf("pipeline: load snapshot: %s[%d] = %d out of range", name, k, id)
-			}
-		}
-	}
-	for d, id := range extras.DomainCls {
-		if !validID(id) {
-			return nil, fmt.Errorf("pipeline: load snapshot: DomainCls[%s] = %d out of range", d, id)
-		}
-	}
-	for i, it := range extras.Serving.Items {
-		if !validID(it.Node) {
-			return nil, fmt.Errorf("pipeline: load snapshot: item %d node %d out of range", i, it.Node)
-		}
+	if err := extras.validate(frozen.NumNodes()); err != nil {
+		return nil, fmt.Errorf("pipeline: load snapshot: %w", err)
 	}
 	return &Artifacts{
 		Frozen:    frozen,

@@ -105,6 +105,18 @@ func (s *Segmenter) MaxMatch(tokens []string) []Segment {
 // reused dst, steady-state segmentation performs zero allocations, which
 // is what keeps the search engine's voting path allocation-free.
 func (s *Segmenter) SegmentInto(dst []Segment, tokens []string) []Segment {
+	return segmentInto(s, dst, tokens)
+}
+
+// SegmentBytesInto is SegmentInto for byte-slice tokens (the bytes query
+// pipeline); same contract, same DP, same shared-Labels caveat.
+func (s *Segmenter) SegmentBytesInto(dst []Segment, tokens [][]byte) []Segment {
+	return segmentInto(s, dst, tokens)
+}
+
+// segmentInto is the shared DP; methods cannot be generic, so the string
+// and bytes entry points delegate here.
+func segmentInto[T string | []byte](s *Segmenter, dst []Segment, tokens []T) []Segment {
 	n := len(tokens)
 	if n == 0 {
 		return dst
@@ -122,7 +134,7 @@ func (s *Segmenter) SegmentInto(dst []Segment, tokens []string) []Segment {
 			maxL = i
 		}
 		for l := 1; l <= maxL; l++ {
-			sc.key = AppendJoin(sc.key[:0], tokens[i-l:i])
+			sc.key = appendJoin(sc.key[:0], tokens[i-l:i])
 			if _, ok := s.phrases[string(sc.key)]; !ok { // alloc-free map key form
 				continue
 			}
@@ -142,7 +154,7 @@ func (s *Segmenter) SegmentInto(dst []Segment, tokens []string) []Segment {
 		st := dp[i]
 		seg := Segment{Start: i - st.prevLen, End: i}
 		if st.isMatch {
-			sc.key = AppendJoin(sc.key[:0], tokens[seg.Start:seg.End])
+			sc.key = appendJoin(sc.key[:0], tokens[seg.Start:seg.End])
 			seg.Labels = s.phrases[string(sc.key)] // shared read-only view
 		}
 		dst[idx] = seg
@@ -155,6 +167,15 @@ func (s *Segmenter) SegmentInto(dst []Segment, tokens []string) []Segment {
 // form of strings.Join(tokens, " ") the serving paths key lexicon and
 // name-index lookups with.
 func AppendJoin(dst []byte, tokens []string) []byte {
+	return appendJoin(dst, tokens)
+}
+
+// AppendJoinBytes is AppendJoin for byte-slice tokens.
+func AppendJoinBytes(dst []byte, tokens [][]byte) []byte {
+	return appendJoin(dst, tokens)
+}
+
+func appendJoin[T string | []byte](dst []byte, tokens []T) []byte {
 	for i, tok := range tokens {
 		if i > 0 {
 			dst = append(dst, ' ')

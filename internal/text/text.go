@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize lower-cases s and splits it on whitespace. The synthetic corpus
@@ -34,6 +35,74 @@ func AppendTokens(dst []string, s string) []string {
 		} else if start < 0 {
 			start = i
 		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
+// AppendLower lower-cases s into dst, producing exactly the bytes
+// strings.ToLower would: each rune maps through unicode.ToLower, and an
+// invalid UTF-8 byte becomes U+FFFD. It is the entry point of the bytes
+// query pipeline — request bytes flow to the engines through reused
+// buffers without ever materializing a string.
+func AppendLower(dst, s []byte) []byte {
+	for i := 0; i < len(s); {
+		// ASCII fast path (the common case for queries): a single byte
+		// lower-cases without a rune decode, exactly as strings.ToLower's
+		// own ASCII loop does.
+		if c := s[i]; c < utf8.RuneSelf {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = utf8.AppendRune(dst, utf8.RuneError)
+		} else {
+			dst = utf8.AppendRune(dst, unicode.ToLower(r))
+		}
+		i += size
+	}
+	return dst
+}
+
+// AppendTokensBytes splits an already lower-cased byte query (see
+// AppendLower) on Unicode whitespace, appending subslices of s to dst —
+// the bytes form of AppendTokens, splitting at exactly the same
+// boundaries.
+func AppendTokensBytes(dst [][]byte, s []byte) [][]byte {
+	start := -1
+	for i := 0; i < len(s); {
+		// ASCII fast path mirroring AppendLower's: single-byte runes
+		// split on the ASCII whitespace set without a rune decode
+		// (unicode.IsSpace on an ASCII rune tests exactly these bytes).
+		if c := s[i]; c < utf8.RuneSelf {
+			if c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+				if start >= 0 {
+					dst = append(dst, s[start:i])
+					start = -1
+				}
+			} else if start < 0 {
+				start = i
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(s[i:])
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+		i += size
 	}
 	if start >= 0 {
 		dst = append(dst, s[start:])

@@ -155,6 +155,55 @@ func TestPropertyIOBRoundTrip(t *testing.T) {
 	}
 }
 
+// Property: the bytes query pipeline is byte-for-byte the string pipeline.
+// AppendLower must produce exactly strings.ToLower's output and
+// AppendTokensBytes must split at exactly AppendTokens' boundaries, for
+// inputs mixing ASCII, multi-byte runes, non-ASCII whitespace (NEL, NBSP,
+// ideographic space — all unicode.IsSpace, none on the ASCII fast path),
+// and invalid UTF-8.
+func TestPropertyBytesPipelineMatchesStrings(t *testing.T) {
+	alphabet := []string{
+		"a", "Z", "q", "M", "7", "-",
+		" ", "\t", "\n", "\v", "\f", "\r",
+		"É", "ß", "Ω", "控", "制", "🎛",
+		"", " ", "　", // NEL, NBSP, ideographic space
+		"\xff", "\xc3", "\xe4\xb8", // invalid / truncated UTF-8
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for n := rng.Intn(24); n > 0; n-- {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := sb.String()
+
+		if got, want := string(AppendLower(nil, []byte(s))), strings.ToLower(s); got != want {
+			t.Logf("AppendLower(%q) = %q, want %q", s, got, want)
+			return false
+		}
+		lowered := strings.ToLower(s)
+		var gotToks []string
+		for _, tok := range AppendTokensBytes(nil, []byte(lowered)) {
+			gotToks = append(gotToks, string(tok))
+		}
+		wantToks := AppendTokens(nil, s)
+		if len(gotToks) != len(wantToks) {
+			t.Logf("token count for %q: got %v want %v", s, gotToks, wantToks)
+			return false
+		}
+		for i := range gotToks {
+			if gotToks[i] != wantToks[i] {
+				t.Logf("token %d for %q: got %q want %q", i, s, gotToks[i], wantToks[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSegmenterMaxMatch(t *testing.T) {
 	s := NewSegmenter()
 	s.AddPhrase([]string{"outdoor", "barbecue"}, "Event")

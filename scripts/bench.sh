@@ -9,10 +9,11 @@
 # concurrent-serving benchmarks, the BenchmarkBatchServe* batch-vs-
 # sequential pairs, the BenchmarkSearchIntoReused zero-allocation headline,
 # BenchmarkSegmentInto (pooled DP scratch vs allocating MaxMatch), the
-# BenchmarkServeCacheHit/Miss end-to-end query-cache pair, and
-# BenchmarkBatchDecode (fixed-shape scanner vs encoding/json) — and writes
-# BENCH_core.json at the repo root: one record per benchmark with ns/op,
-# B/op, and allocs/op.
+# BenchmarkServeCacheHit/Miss end-to-end query-cache pair,
+# BenchmarkBatchDecode (fixed-shape scanner vs encoding/json), and the
+# BenchmarkSharded* set (N=1 vs N=4 partition reads, whole-net vs sharded
+# freeze) — and writes BENCH_core.json at the repo root: one record per
+# benchmark with ns/op, B/op, and allocs/op.
 #
 # Before overwriting, the committed BENCH_core.json is kept and a
 # BENCH_delta table (ns/op and allocs/op, old vs new, per benchmark) is
@@ -36,7 +37,7 @@ else
 fi
 
 go test -run '^$' \
-    -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused|SegmentInto|ServeCache|BatchDecode' \
+    -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused|SegmentInto|ServeCache|BatchDecode|Sharded' \
     -benchmem -benchtime="$BENCHTIME" \
     . ./internal/text ./cmd/cocoserve | tee "$RAW"
 
@@ -70,7 +71,8 @@ for required in \
     BenchmarkColdStartFrozen BenchmarkParallelFrozenSearch \
     BenchmarkBatchServeSearch BenchmarkSearchIntoReused \
     BenchmarkSegmentInto BenchmarkServeCacheHit BenchmarkServeCacheMiss \
-    BenchmarkBatchDecode; do
+    BenchmarkBatchDecode BenchmarkShardedSearch/N=1 BenchmarkShardedSearch/N=4 \
+    BenchmarkShardedRecommend/N=4 BenchmarkShardedFreeze; do
     if ! grep -q "\"name\": \"$required" "$OUT"; then
         echo "bench.sh: required benchmark $required missing from $OUT" >&2
         exit 1
