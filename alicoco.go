@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -31,6 +33,7 @@ import (
 	"alicoco/internal/par"
 	"alicoco/internal/pipeline"
 	"alicoco/internal/qcache"
+	"alicoco/internal/snapstore"
 	"alicoco/internal/world"
 )
 
@@ -127,10 +130,17 @@ type servingState struct {
 	// Sharded-snapshot bookkeeping: where the shards were loaded from and
 	// the manifest they were verified against (nil for in-process freezes),
 	// plus per-shard serving metadata. shardInfo is set whenever the state
-	// was published from a partition, even an in-memory one.
-	shardDir  string
-	manifest  *pipeline.ShardManifest
-	shardInfo []ShardServingInfo
+	// was published from a partition, even an in-memory one. When the
+	// snapshot came out of a generation catalog, shardRoot is the store
+	// root (shardDir is then the generation's directory under it) and
+	// catalogGen the committed generation being served — what RollbackTo
+	// and the scrubber anchor on; both are zero for flat directories and
+	// in-process freezes.
+	shardDir   string
+	shardRoot  string
+	catalogGen uint64
+	manifest   *pipeline.ShardManifest
+	shardInfo  []ShardServingInfo
 
 	search     *search.Engine
 	rec        *recommend.Engine
@@ -161,13 +171,14 @@ type ShardServingInfo struct {
 // live — the operational metadata a fleet needs to tell which net version
 // each replica is answering with.
 type ServingInfo struct {
-	Source      string    // "build", "snapshot", "shards", or "refreeze"
+	Source      string    // "build", "snapshot", "shards", "refreeze", or "rollback"
 	Generation  uint64    // increments with every published serving state
 	Checksum    string    // CRC-32 (hex) of the loaded snapshot content; "" for in-process freezes
 	PublishedAt time.Time // when this serving state was swapped in
 	Nodes       int
 	Edges       int
-	Shards      int // partition size; 0 when serving an unpartitioned net
+	Shards      int    // partition size; 0 when serving an unpartitioned net
+	CatalogGen  uint64 // snapshot-store generation being served; 0 when not catalog-backed
 }
 
 // ServingInfo describes the currently published serving snapshot.
@@ -225,32 +236,18 @@ func LoadFrozen(path string) (*CoCo, error) {
 }
 
 // SaveFrozen writes the serving state — the frozen net plus the serving
-// metadata — to a snapshot file LoadFrozen can restore. The file is
-// written to a temporary sibling and renamed into place, so a crash
-// mid-save never leaves a corrupt snapshot at the published path, and it
-// holds the offline lock so a concurrent refreeze cannot swap the frozen
-// net mid-serialization.
+// metadata — to a snapshot file LoadFrozen can restore. The write has full
+// crash-safety discipline (temp sibling, fsync file, checked close,
+// rename, fsync parent directory), so neither a crash mid-save nor a power
+// loss right after the rename can leave a corrupt or empty snapshot at the
+// published path. It holds the offline lock so a concurrent refreeze
+// cannot swap the frozen net mid-serialization.
 func (c *CoCo) SaveFrozen(path string) error {
 	c.offline.Lock()
 	defer c.offline.Unlock()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	err = c.arts.Load().SaveSnapshot(w)
-	if err == nil {
-		err = w.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return snapstore.WriteFileAtomic(filepath.Dir(path), filepath.Base(path), func(w io.Writer) error {
+		return c.arts.Load().SaveSnapshot(w)
+	})
 }
 
 // ReloadFrozen reads a snapshot file and hot-swaps it into serving: queries
@@ -295,7 +292,7 @@ func BuildSharded(opts Options, shards int) (*CoCo, error) {
 	arts := c.arts.Load()
 	arts.Shards = arts.Net.FreezeShards(shards)
 	arts.Frozen = nil // the partition is now the serving truth; see SaveShards
-	return c, c.publishShards(arts, "build", "", nil)
+	return c, c.publishShards(arts, "build", shardLoc{}, nil)
 }
 
 // NumShards reports the partition size of the published serving state;
@@ -308,60 +305,110 @@ func (c *CoCo) ShardInfos() []ShardServingInfo {
 	return append([]ShardServingInfo(nil), c.serving.Load().shardInfo...)
 }
 
-// SaveShards partitions the live net into count shards and writes them as
-// a sharded snapshot directory — a manifest naming per-shard files plus
-// their checksums — that LoadShardedFrozen and ReloadShards restore.
-// Shards are frozen and written in parallel; every file lands via a
-// temp-and-rename, and the manifest is written last as the commit point.
-// It errors on a snapshot-loaded CoCo (no live net to partition).
+// SaveShards partitions the live net into count shards and commits them as
+// a new generation in the snapshot store at dir — per-shard files plus a
+// checksummed manifest in a gen-%06d directory, named by the store's
+// catalog — that LoadShardedFrozen and ReloadShards restore. Shards are
+// frozen and written in parallel into a temp generation directory; the
+// atomic catalog update is the single commit point, so a crashed save
+// leaves only debris the next open sweeps away. It errors on a
+// snapshot-loaded CoCo (no live net to partition).
 func (c *CoCo) SaveShards(dir string, count int) (*pipeline.ShardManifest, error) {
-	c.offline.Lock()
-	defer c.offline.Unlock()
-	return c.arts.Load().SaveShards(dir, count)
+	man, _, err := c.SaveShardsRetain(dir, count, 0)
+	return man, err
 }
 
-// LoadShardedFrozen builds a CoCo from a sharded snapshot directory
-// written by SaveShards. Shards load and verify in parallel; the CoCo
-// serves every query path, scatter-gathering across the partition.
+// SaveShardsRetain is SaveShards with an explicit retention count — how
+// many committed generations the store keeps as the rollback window
+// (<= 0 means snapstore.DefaultRetain). It also returns the committed
+// generation.
+func (c *CoCo) SaveShardsRetain(dir string, count, retain int) (*pipeline.ShardManifest, snapstore.Gen, error) {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	return c.arts.Load().SaveShardsRetain(dir, count, retain)
+}
+
+// LoadShardedFrozen builds a CoCo from a sharded snapshot written by
+// SaveShards: a snapshot-store root (the newest committed generation
+// loads), a generation directory, or a pre-catalog flat directory. Shards
+// load and verify in parallel; the CoCo serves every query path,
+// scatter-gathering across the partition.
 func LoadShardedFrozen(dir string) (*CoCo, error) {
-	arts, man, err := pipeline.LoadShards(dir)
+	loc, err := resolveShardDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	arts, man, err := pipeline.LoadShards(loc.dir)
 	if err != nil {
 		return nil, err
 	}
 	c := newCoCo()
 	c.arts.Store(arts)
-	if err := c.publishShards(arts, "shards", dir, man); err != nil {
+	if err := c.publishShards(arts, "shards", loc, man); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// ReloadShards re-reads a sharded snapshot directory and hot-swaps the
-// changed parts into serving. It diffs the on-disk manifest against the
-// partition currently served: shards whose checksums match keep their
-// in-memory form (and, via the content stamp, their cache entries); only
-// changed shards are read from disk. It returns how many shards were
-// (re)loaded — 0 means the directory holds exactly what is already being
-// served, and nothing is republished at all. A partition-shape change
-// (shard count, stride, node total, or serving metadata) falls back to a
-// full load. Queries running concurrently keep answering from the old
-// partition until the single atomic swap, so no request ever sees a mix
-// of generations.
+// shardLoc names where a sharded snapshot lives: the directory holding
+// its files, plus — when it came out of a generation catalog — the store
+// root and committed generation ID.
+type shardLoc struct {
+	dir  string
+	root string
+	gen  uint64
+}
+
+// resolveShardDir maps a snapshot directory argument through the
+// generation catalog: a store root resolves to its newest committed
+// generation, anything else to itself.
+func resolveShardDir(dir string) (shardLoc, error) {
+	resolved, gen, isStore, err := snapstore.ResolveDir(dir)
+	if err != nil {
+		return shardLoc{}, err
+	}
+	loc := shardLoc{dir: resolved}
+	if isStore {
+		loc.root, loc.gen = dir, gen
+	}
+	return loc, nil
+}
+
+// ReloadShards re-reads a sharded snapshot (store root, generation dir, or
+// flat dir — see LoadShardedFrozen) and hot-swaps the changed parts into
+// serving. It diffs the on-disk manifest against the partition currently
+// served: shards whose checksums match keep their in-memory form (and, via
+// the content stamp, their cache entries); only changed shards are read
+// from disk — so a new catalog generation that touched one shard reloads
+// one shard, even though it lives in a fresh gen-%06d directory. It
+// returns how many shards were (re)loaded — 0 means the snapshot holds
+// exactly what is already being served; when it is also the same directory
+// nothing is republished at all, and when it is a newer generation with
+// identical content only the location bookkeeping is republished (the
+// content stamp, and with it every warm cache entry, carries over). A
+// partition-shape change (shard count, stride, node total, or serving
+// metadata) falls back to a full load. Queries running concurrently keep
+// answering from the old partition until the single atomic swap, so no
+// request ever sees a mix of generations.
 func (c *CoCo) ReloadShards(dir string) (int, error) {
 	c.offline.Lock()
 	defer c.offline.Unlock()
-	man, err := pipeline.ReadManifest(dir)
+	loc, err := resolveShardDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	man, err := pipeline.ReadManifest(loc.dir)
 	if err != nil {
 		return 0, err
 	}
 	prev := c.serving.Load()
-	if prev == nil || prev.manifest == nil || prev.shardDir != dir || !sameShape(prev.manifest, man) {
-		arts, man, err := pipeline.LoadShards(dir)
+	if prev == nil || prev.manifest == nil || prev.shards == nil || !sameShape(prev.manifest, man) {
+		arts, man, err := pipeline.LoadShards(loc.dir)
 		if err != nil {
 			return 0, err
 		}
 		c.arts.Store(arts)
-		return man.NumShards(), c.publishShards(arts, "shards", dir, man)
+		return man.NumShards(), c.publishShards(arts, "shards", loc, man)
 	}
 	shards := make([]*core.FrozenNet, man.NumShards())
 	changed := 0
@@ -370,20 +417,20 @@ func (c *CoCo) ReloadShards(dir string) (int, error) {
 			shards[i] = prev.shards.Shard(i)
 			continue
 		}
-		sh, err := pipeline.LoadShard(dir, man, i)
+		sh, err := pipeline.LoadShard(loc.dir, man, i)
 		if err != nil {
 			return 0, err
 		}
 		shards[i] = sh
 		changed++
 	}
-	if changed == 0 {
+	if changed == 0 && prev.shardDir == loc.dir {
 		return 0, nil
 	}
 	arts := *c.arts.Load()
 	arts.Shards = shards
 	c.arts.Store(&arts)
-	return changed, c.publishShards(&arts, "shards", dir, man)
+	return changed, c.publishShards(&arts, "shards", loc, man)
 }
 
 // ReloadShard force-reloads one shard from a sharded snapshot directory,
@@ -399,7 +446,11 @@ func (c *CoCo) ReloadShard(dir string, i int) error {
 	if prev == nil || prev.manifest == nil {
 		return errors.New("alicoco: reload shard: serving is not backed by a sharded snapshot")
 	}
-	man, err := pipeline.ReadManifest(dir)
+	loc, err := resolveShardDir(dir)
+	if err != nil {
+		return err
+	}
+	man, err := pipeline.ReadManifest(loc.dir)
 	if err != nil {
 		return err
 	}
@@ -409,7 +460,7 @@ func (c *CoCo) ReloadShard(dir string, i int) error {
 	if !sameShape(prev.manifest, man) {
 		return errors.New("alicoco: reload shard: partition shape on disk changed; use ReloadShards")
 	}
-	sh, err := pipeline.LoadShard(dir, man, i)
+	sh, err := pipeline.LoadShard(loc.dir, man, i)
 	if err != nil {
 		return err
 	}
@@ -428,7 +479,89 @@ func (c *CoCo) ReloadShard(dir string, i int) error {
 	arts := *c.arts.Load()
 	arts.Shards = shards
 	c.arts.Store(&arts)
-	return c.publishShards(&arts, "shards", dir, &eff)
+	return c.publishShards(&arts, "shards", loc, &eff)
+}
+
+// RollbackTo republishes an earlier committed generation of the snapshot
+// store serving was loaded from: the named generation (0 means the newest
+// committed generation older than the one being served) is fully loaded
+// and verified, then swapped in atomically — the recovery path for a
+// generation that loads clean but misbehaves once live. It returns the
+// generation actually published.
+func (c *CoCo) RollbackTo(gen uint64) (snapstore.Gen, error) {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	prev := c.serving.Load()
+	if prev == nil || prev.shardRoot == "" {
+		return snapstore.Gen{}, errors.New("alicoco: rollback: serving is not backed by a snapshot store")
+	}
+	store, err := snapstore.Open(prev.shardRoot, snapstore.Options{})
+	if err != nil {
+		return snapstore.Gen{}, err
+	}
+	var g snapstore.Gen
+	if gen != 0 {
+		if g, err = store.Find(gen); err != nil {
+			return snapstore.Gen{}, err
+		}
+	} else {
+		gens, err := store.Generations()
+		if err != nil {
+			return snapstore.Gen{}, err
+		}
+		for i := len(gens) - 1; i >= 0; i-- {
+			if gens[i].ID < prev.catalogGen {
+				g = gens[i]
+				break
+			}
+		}
+		if g.ID == 0 {
+			return snapstore.Gen{}, fmt.Errorf("alicoco: rollback: no committed generation older than %d", prev.catalogGen)
+		}
+	}
+	loc := shardLoc{dir: store.GenDir(g), root: prev.shardRoot, gen: g.ID}
+	arts, man, err := pipeline.LoadShards(loc.dir)
+	if err != nil {
+		return snapstore.Gen{}, err
+	}
+	c.arts.Store(arts)
+	return g, c.publishShards(arts, "rollback", loc, man)
+}
+
+// ScrubOnce runs one integrity pass over the generation directory serving
+// was loaded from: every file is re-hashed against the on-disk manifest
+// (itself verified against the catalog when the snapshot is
+// catalog-backed), mismatches are quarantined, and each quarantined file
+// is repaired from the newest clean source — another catalog generation
+// with matching content first, the served in-memory shard second. Repair
+// touches only the disk copy; serving reads the in-memory shards
+// throughout, so traffic keeps answering byte-identically and warm cache
+// entries survive. Holding the offline lock serializes the pass with
+// saves and reloads.
+func (c *CoCo) ScrubOnce() (*snapstore.ScrubReport, error) {
+	c.offline.Lock()
+	defer c.offline.Unlock()
+	s := c.serving.Load()
+	if s == nil || s.shardDir == "" {
+		return nil, errors.New("alicoco: scrub: serving is not backed by an on-disk sharded snapshot")
+	}
+	opts := pipeline.ScrubOptions{Gen: s.catalogGen}
+	if s.shardRoot != "" {
+		store, err := snapstore.Open(s.shardRoot, snapstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = store
+		if g, err := store.Find(s.catalogGen); err == nil {
+			opts.ManifestChecksum = g.ManifestChecksum
+		}
+	}
+	if s.shards != nil {
+		opts.InMem = s.shards.Shards()
+	} else if s.frozen != nil {
+		opts.InMem = []*core.FrozenNet{s.frozen}
+	}
+	return pipeline.ScrubShardDir(s.shardDir, opts)
 }
 
 func buildItemIndex(meta *pipeline.ServingMeta) ([]Item, map[core.NodeID]Item, map[int]core.NodeID) {
@@ -515,10 +648,11 @@ func sameShape(a, b *pipeline.ShardManifest) bool {
 // publishShards swaps in a serving state backed by a shard partition
 // (arts.Shards). For a single-shard partition the engines run directly on
 // the sole shard — a whole frozen net — so N=1 stays on the unpartitioned
-// fast path; for N>1 they run on the scatter-gather ShardSet. dir and man
-// identify the sharded snapshot directory the partition was verified
-// against; both are zero for in-process freezes.
-func (c *CoCo) publishShards(arts *pipeline.Artifacts, source, dir string, man *pipeline.ShardManifest) error {
+// fast path; for N>1 they run on the scatter-gather ShardSet. loc and man
+// identify the sharded snapshot the partition was verified against (the
+// directory, and for catalog-backed snapshots the store root and committed
+// generation); both are zero for in-process freezes.
+func (c *CoCo) publishShards(arts *pipeline.Artifacts, source string, loc shardLoc, man *pipeline.ShardManifest) error {
 	set, err := core.NewShardSet(arts.Shards)
 	if err != nil {
 		return err
@@ -568,7 +702,9 @@ func (c *CoCo) publishShards(arts *pipeline.Artifacts, source, dir string, man *
 		reader:     reader,
 		frozen:     frozen,
 		shards:     set,
-		shardDir:   dir,
+		shardDir:   loc.dir,
+		shardRoot:  loc.root,
+		catalogGen: loc.gen,
 		manifest:   man,
 		shardInfo:  shardInfo,
 		search:     se,
@@ -585,6 +721,7 @@ func (c *CoCo) publishShards(arts *pipeline.Artifacts, source, dir string, man *
 			Nodes:       set.NumNodes(),
 			Edges:       set.NumEdges(),
 			Shards:      set.NumShards(),
+			CatalogGen:  loc.gen,
 		},
 	})
 	return nil
@@ -617,7 +754,7 @@ func (c *CoCo) refreeze() error {
 	arts := c.arts.Load()
 	if c.shardCount > 1 {
 		arts.Shards = arts.Net.FreezeShards(c.shardCount)
-		return c.publishShards(arts, "refreeze", "", nil)
+		return c.publishShards(arts, "refreeze", shardLoc{}, nil)
 	}
 	arts.Refreeze()
 	c.publish(arts, "refreeze")

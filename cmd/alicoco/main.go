@@ -6,15 +6,22 @@
 //
 //	alicoco [-scale small|default] [-out net.coco] [-query "outdoor barbecue"]
 //	alicoco snapshot save [-scale small|default] -out net.fz
-//	alicoco snapshot save [-scale small|default] -shards 4 -out netdir
+//	alicoco snapshot save [-scale small|default] -shards 4 [-retain 4] -out netdir
 //	alicoco snapshot load -in net.fz [-query "outdoor barbecue"]
+//	alicoco snapshot verify netdir
 //
 // `snapshot save` builds the net and writes the frozen serving snapshot —
-// a single file, or with -shards N a directory of N independently
-// reloadable shard files plus a manifest (serve it with
-// `cocoserve -snapshot-dir`); `snapshot load` restores a single-file
-// snapshot without rebuilding (cold start proportional to disk bandwidth)
-// and can answer queries against it.
+// a single file, or with -shards N a generation committed into the
+// snapshot store at -out: N independently reloadable shard files plus a
+// checksummed manifest in a gen-NNNNNN directory, named by the store's
+// CATALOG (serve it with `cocoserve -snapshot-dir`). Repeated saves into
+// the same store append generations; -retain bounds how many the catalog
+// keeps. `snapshot load` restores a single-file snapshot without
+// rebuilding (cold start proportional to disk bandwidth) and can answer
+// queries against it. `snapshot verify` re-hashes every file of a sharded
+// snapshot — all generations of a catalog store — against its manifest and
+// catalog entry, reporting per file and exiting non-zero on any mismatch,
+// without modifying the store.
 package main
 
 import (
@@ -37,9 +44,12 @@ func main() {
 			case "load":
 				snapshotLoad(os.Args[3:])
 				return
+			case "verify":
+				snapshotVerify(os.Args[3:])
+				return
 			}
 		}
-		fmt.Fprintln(os.Stderr, "usage: alicoco snapshot save|load [flags]")
+		fmt.Fprintln(os.Stderr, "usage: alicoco snapshot save|load|verify [flags]")
 		os.Exit(2)
 	}
 
@@ -91,6 +101,7 @@ func snapshotSave(args []string) {
 	scale := fs.String("scale", "default", "build scale: small or default")
 	out := fs.String("out", "net.fz", "path to write the frozen snapshot (a directory with -shards)")
 	shards := fs.Int("shards", 0, "write a sharded snapshot directory with this many shards instead of a single file")
+	retain := fs.Int("retain", 0, "committed generations the snapshot store keeps (with -shards; 0 means the default window)")
 	fs.Parse(args)
 	rejectExtraArgs(fs)
 
@@ -102,11 +113,12 @@ func snapshotSave(args []string) {
 	}
 	log.Printf("built in %v", time.Since(start).Round(time.Millisecond))
 	if *shards > 0 {
-		man, err := coco.SaveShards(*out, *shards)
+		man, gen, err := coco.SaveShardsRetain(*out, *shards, *retain)
 		if err != nil {
 			log.Fatalf("save shards: %v", err)
 		}
-		log.Printf("sharded snapshot written to %s/ (%d shards, serve with cocoserve -snapshot-dir)", *out, man.NumShards())
+		log.Printf("sharded snapshot committed to %s/ as generation %d (%d shards, serve with cocoserve -snapshot-dir)",
+			*out, gen.ID, man.NumShards())
 		fmt.Println(coco.Stats().Render())
 		return
 	}

@@ -9,6 +9,7 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io/fs"
 	"log"
 	"net"
@@ -23,8 +24,10 @@ import (
 	"syscall"
 	"time"
 
+	"alicoco"
 	"alicoco/internal/pipeline"
 	"alicoco/internal/resilience"
+	"alicoco/internal/snapstore"
 )
 
 // serveConfig is the resilience policy knobs; the zero value disables
@@ -60,6 +63,15 @@ type serveConfig struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	quarantineAfter  int
+
+	// Snapstore lifecycle (catalog-backed -snapshot-dir only): retain
+	// bounds how many committed generations pruning keeps on disk;
+	// scrubInterval > 0 runs the background integrity scrubber on that
+	// period; validate is the post-swap check every newly published
+	// generation must pass or be rolled back (nil skips validation).
+	retain        int
+	scrubInterval time.Duration
+	validate      func(*alicoco.CoCo) error
 }
 
 // defaultDrainTimeout bounds how long shutdown waits for in-flight
@@ -82,6 +94,8 @@ func defaultServeConfig() serveConfig {
 		breakerThreshold: 5,
 		breakerCooldown:  30 * time.Second,
 		quarantineAfter:  8,
+		retain:           snapstore.DefaultRetain,
+		validate:         defaultValidate,
 	}
 }
 
@@ -180,7 +194,17 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *server) tryReload() (source string, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	// While the newest catalog generation is skiplisted (it failed
+	// validation and was rolled back), hold rather than republish it; a
+	// newer generation clears the hold. See snapstore.go.
+	if hold := s.reloadGateLocked(); hold != "" {
+		return "held: " + hold, nil
+	}
+	before := s.coco.ServingInfo().Generation
 	source, err = s.reload()
+	if err == nil {
+		err = s.validateSwapLocked(before)
+	}
 	if err == nil {
 		s.breaker.Success()
 		if s.backoff != nil {
@@ -188,6 +212,7 @@ func (s *server) tryReload() (source string, err error) {
 		}
 		s.consecReloads = 0
 		clear(s.shardFails)
+		s.pruneLocked()
 		return source, nil
 	}
 	s.reloadFailures.Add(1)
@@ -199,6 +224,14 @@ func (s *server) tryReload() (source string, err error) {
 	}
 	if s.snapshot != "" && s.cfg.quarantineAfter > 0 && s.consecReloads >= s.cfg.quarantineAfter {
 		s.quarantineSnapshot(err)
+	}
+	// Catalog-backed serving does not freeze on "last good in memory":
+	// when reloads keep failing past the breaker threshold, re-anchor on
+	// the newest older generation that still loads and validates clean.
+	if s.store != nil && s.cfg.breakerThreshold > 0 && s.consecReloads == s.cfg.breakerThreshold {
+		if rerr := s.autoRollbackLocked(0, fmt.Sprintf("reload breaker tripped: %v", err)); rerr != nil {
+			log.Printf("auto-rollback: %v", rerr)
+		}
 	}
 	return source, err
 }
@@ -242,14 +275,21 @@ func (s *server) noteShardFailureLocked(idx int, file string, cause error) {
 		return
 	}
 	s.shardFails[idx] = 0
-	path := filepath.Join(s.snapshotDir, file)
+	// The failing file lives in the directory reloads actually read: the
+	// newest committed generation when -snapshot-dir is a catalog store,
+	// the directory itself when it is flat.
+	dir, gen := s.snapshotDir, uint64(0)
+	if resolved, g, isStore, err := snapstore.ResolveDir(dir); err == nil && isStore {
+		dir, gen = resolved, g
+	}
+	path := filepath.Join(dir, file)
 	if _, err := os.Stat(path); err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			log.Printf("quarantine: stat %s: %v", path, err)
 		}
 		return
 	}
-	dst := path + ".quarantined"
+	dst := snapstore.QuarantinePath(path, gen)
 	if err := os.Rename(path, dst); err != nil {
 		log.Printf("quarantine: rename %s: %v", path, err)
 		return
@@ -270,7 +310,7 @@ func (s *server) quarantineSnapshot(cause error) {
 		}
 		return
 	}
-	dst := s.snapshot + ".quarantined"
+	dst := snapstore.QuarantinePath(s.snapshot, 0)
 	if err := os.Rename(s.snapshot, dst); err != nil {
 		log.Printf("quarantine: rename %s: %v", s.snapshot, err)
 		return
@@ -363,6 +403,13 @@ func serveListener(s *server, ln net.Listener, refresh, drainTimeout time.Durati
 		go func() {
 			defer wg.Done()
 			s.refreshLoop(refresh, done)
+		}()
+	}
+	if s.cfg.scrubInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.scrubLoop(s.cfg.scrubInterval, done)
 		}()
 	}
 	if sigc == nil {

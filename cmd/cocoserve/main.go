@@ -12,6 +12,7 @@
 //	POST /recommend/batch   {"sessions": [[1,2,3], [4,5]], "k": 10}
 //	GET  /hypernyms?name=coat
 //	POST /reload
+//	POST /rollback  (catalog stores: republish an earlier generation)
 //	GET  /healthz   (liveness: 200 while the process can answer at all)
 //	GET  /readyz    (readiness: 503 while draining or saturated)
 //
@@ -43,7 +44,7 @@
 //	[-snapshot net.fz] [-snapshot-dir dir] [-shards N]
 //	[-refresh 5m] [-cache-size 4096]
 //	[-deadline 2s] [-batch-deadline 15s] [-max-inflight N] [-queue-depth N]
-//	[-drain-timeout 15s]
+//	[-drain-timeout 15s] [-retain 4] [-scrub-interval 10m]
 //
 // With -snapshot, startup loads the frozen serving snapshot written by
 // `alicoco snapshot save` instead of rebuilding the net — cold start is
@@ -80,6 +81,27 @@
 // snapshot file that repeatedly fails validation, keeping the last good
 // generation serving throughout. /stats carries a "resilience" section
 // with all of those counters.
+//
+// When -snapshot-dir is a generation catalog (a store written by
+// `alicoco snapshot save -dir` or SaveShards: gen-NNNNNN directories plus
+// a CATALOG file committed by atomic rename), the crash-safe snapshot
+// lifecycle engages on top of all of the above: startup sweeps any
+// torn/uncommitted save the publisher left behind; every newly published
+// generation must pass post-swap validation or the server automatically
+// rolls back down the catalog to the newest generation that loads and
+// validates clean (the bad generation is skiplisted until a newer one
+// lands); a reload breaker trip likewise re-anchors serving on the newest
+// clean generation instead of freezing on "last good in memory";
+// POST /rollback?gen=N republishes an earlier generation on demand;
+// -retain N prunes the catalog after successful reloads (the serving
+// generation is never dropped); and -scrub-interval runs a background
+// integrity scrubber that re-hashes the served generation's files against
+// its manifest — anchored by the catalog entry's manifest checksum —
+// quarantining mismatches and repairing them from the newest clean source
+// (another committed generation, else the in-memory shard). /stats gains a
+// "snapstore" section reporting the catalog, rollback history, and scrub
+// counters. A flat (pre-catalog) snapshot directory disables all of it and
+// serves exactly as before.
 package main
 
 import (
@@ -96,6 +118,7 @@ import (
 	"alicoco"
 	"alicoco/internal/qcache"
 	"alicoco/internal/resilience"
+	"alicoco/internal/snapstore"
 )
 
 // maxRecommendK caps the k parameter of /recommend so a single request
@@ -171,12 +194,41 @@ type server struct {
 	reloadRetries  atomic.Uint64 // backoff retries after a failed reload
 	quarantines    atomic.Uint64 // snapshot files renamed aside
 
+	// store is the generation catalog behind -snapshot-dir, nil when the
+	// directory is flat (pre-catalog) or absent; it powers rollback,
+	// retention pruning, and scrub repair. See snapstore.go in this
+	// package.
+	store *snapstore.Store
+
+	// Snapstore lifecycle counters surfaced by /stats.
+	rollbacks          atomic.Uint64 // completed rollbacks (automatic + operator)
+	validationFailures atomic.Uint64 // post-swap validation rejections
+	scrubPasses        atomic.Uint64 // completed scrub passes
+	scrubRepairs       atomic.Uint64 // files re-materialized by the scrubber
+	scrubQuarantines   atomic.Uint64 // files quarantined by the scrubber
+	scrubUnrepaired    atomic.Uint64 // mismatches no repair source covered
+	scrubErrors        atomic.Uint64 // scrub passes that failed outright
+
+	// scrubMu guards the most recent scrub report for /stats.
+	scrubMu   sync.Mutex
+	lastScrub *snapstore.ScrubReport
+
 	// reloadMu serializes reload attempts with their failure bookkeeping
 	// (consecFailures drives quarantine); the facade's offline lock only
 	// serializes the swap itself.
 	reloadMu      sync.Mutex
 	consecReloads int         // consecutive reload failures, guarded by reloadMu
 	shardFails    map[int]int // consecutive failures per shard, guarded by reloadMu
+
+	// badGens skiplists catalog generations that loaded but failed
+	// post-swap validation (or failed to load during a rollback walk):
+	// the refresh loop holds instead of republishing them, until a
+	// generation newer than every bad one lands. Guarded by reloadMu.
+	badGens map[uint64]bool
+
+	// lastRollback describes the most recent rollback for /stats.
+	// Guarded by reloadMu.
+	lastRollback *rollbackStat
 
 	// hook, when set before serving starts, is called at the top of the
 	// query handlers ("search", "recommend", ...) and again after
@@ -346,6 +398,7 @@ func (s *server) errorCaching(w http.ResponseWriter, msg string, status int, cac
 type statsResponse struct {
 	alicoco.Stats
 	Snapshot   snapshotInfo   `json:"snapshot"`
+	Snapstore  snapstoreInfo  `json:"snapstore"`
 	Cache      cacheInfo      `json:"cache"`
 	Resilience resilienceInfo `json:"resilience"`
 }
@@ -478,6 +531,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, statsResponse{
 		Stats:      s.coco.Stats(),
 		Snapshot:   s.snapshotInfo(),
+		Snapstore:  s.snapstoreInfo(),
 		Cache:      s.cacheInfo(),
 		Resilience: s.resilienceInfo(),
 	})
@@ -767,6 +821,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
 	mux.HandleFunc("/hypernyms", s.handleHypernyms)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/rollback", s.handleRollback)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -794,6 +849,10 @@ func main() {
 		"requests allowed to wait for an engine slot before shedding with 429")
 	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout,
 		"how long shutdown waits for in-flight requests before giving up")
+	retain := flag.Int("retain", cfg.retain,
+		"committed snapshot generations to keep on disk when -snapshot-dir is a generation catalog")
+	scrubInterval := flag.Duration("scrub-interval", 0,
+		"if > 0, re-hash the served snapshot files against their manifest on this interval, quarantining and repairing corruption")
 	flag.Parse()
 
 	var coco *alicoco.CoCo
@@ -835,8 +894,15 @@ func main() {
 	cfg.batchDeadline = *batchDeadline
 	cfg.maxInflight = *maxInflight
 	cfg.queueDepth = *queueDepth
+	cfg.retain = *retain
+	cfg.scrubInterval = *scrubInterval
 	s := newServerCfg(coco, *snapshot, cfg)
 	s.snapshotDir = *snapshotDir
+	s.initStore()
+	if s.store != nil {
+		log.Printf("snapstore catalog at %s: serving gen %d, retain %d, scrub interval %v",
+			s.store.Root(), coco.ServingInfo().CatalogGen, s.store.Retain(), *scrubInterval)
+	}
 	if *cacheSize > 0 {
 		log.Printf("query caches enabled: %d entries per layer (result + encoded-bytes)", *cacheSize)
 	} else {

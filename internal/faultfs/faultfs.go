@@ -1,15 +1,25 @@
-// Package faultfs is a fault-injection shim over file reads, built for
-// chaos-testing the snapshot reload path. Production code opens snapshot
-// files through Open; with no fault armed — the default — that is a plain
-// os.Open with zero overhead beyond one atomic load. Tests arm a Fault to
+// Package faultfs is a fault-injection shim over file I/O, built for
+// chaos-testing the snapshot reload and save paths. Production code opens
+// snapshot files through Open and writes them through Create/CreateTemp/
+// Rename/SyncDir; with no fault armed — the default — those are the plain
+// os calls with zero overhead beyond one atomic load. Tests arm a Fault to
 // make reads of matching files slow (Delay), short (FailAfter), corrupt
 // (CorruptAt), or fail outright (OpenErr), which exercises every loader
 // failure mode against the real file plumbing instead of a mocked reader.
 //
+// The write side arms a CrashPoint instead: InjectCrash kills the
+// process-visible write sequence at an exact operation — the Nth matching
+// create, write, sync, close, rename, directory sync, or remove — and
+// every write operation after the trip fails too, exactly as if the
+// process had died there (writes after a power loss never reach the disk).
+// Crash-matrix tests enumerate every operation of a save this way and
+// prove recovery from each prefix.
+//
 // The armed fault is process-global (the production call sites cannot be
 // handed a per-test instance without threading it through the public
 // facade), so tests that arm faults must not run in parallel with each
-// other; Inject returns a restore func to disarm deterministically.
+// other; Inject and InjectCrash return restore funcs to disarm
+// deterministically.
 package faultfs
 
 import (
@@ -120,3 +130,210 @@ func (r *faultReader) Read(p []byte) (int, error) {
 }
 
 func (r *faultReader) Close() error { return r.file.Close() }
+
+// --- write-path crash injection ---
+
+// Operation names for write-path crash points: every durable step of an
+// atomic file write, in the order a save performs them.
+const (
+	OpCreate  = "create"  // opening a file (or temp file) for writing
+	OpWrite   = "write"   // one Write call against an open file
+	OpSync    = "sync"    // fsync of file contents
+	OpClose   = "close"   // closing the written file
+	OpRename  = "rename"  // renaming into place (the per-file commit)
+	OpSyncDir = "syncdir" // fsync of a directory (making a rename durable)
+	OpRemove  = "remove"  // deleting a file or directory tree
+)
+
+// ErrCrashed is the error write operations surface once an injected crash
+// has fired: from the tripped operation on, the "process" is dead and no
+// write reaches the disk.
+var ErrCrashed = errors.New("faultfs: injected crash")
+
+// CrashPoint describes where an injected crash fires. The zero value
+// crashes at the very first write operation of any kind.
+type CrashPoint struct {
+	// PathContains restricts counting to operations on matching paths;
+	// empty matches every operation.
+	PathContains string
+
+	// Op restricts counting to one operation kind (OpWrite, OpRename, ...);
+	// empty matches all kinds.
+	Op string
+
+	// After is how many matching operations complete before the crash: the
+	// (After+1)-th matching operation fails, and every write operation after
+	// it — matching or not — fails too.
+	After uint64
+
+	// Short tears the tripping operation when it is a write: half the bytes
+	// reach the file before the failure, leaving a torn tail on disk the
+	// way a mid-write power loss would.
+	Short bool
+
+	// Err overrides the error the crash surfaces; nil means ErrCrashed.
+	Err error
+}
+
+func (c *CrashPoint) err() error {
+	if c.Err != nil {
+		return c.Err
+	}
+	return ErrCrashed
+}
+
+var (
+	crash      atomic.Pointer[CrashPoint]
+	crashOps   atomic.Uint64
+	crashTrips atomic.Bool
+)
+
+// InjectCrash arms c for subsequent write operations and returns a restore
+// func that disarms it ("reboots the machine": after restore, writes work
+// again and recovery code can run). Arming resets the operation counter
+// and the fired flag.
+func InjectCrash(c CrashPoint) (restore func()) {
+	crashOps.Store(0)
+	crashTrips.Store(false)
+	crash.Store(&c)
+	return func() { crash.Store(nil) }
+}
+
+// CrashFired reports whether the armed crash point has tripped.
+func CrashFired() bool { return crashTrips.Load() }
+
+// CrashOps reports how many matching write operations the armed crash
+// point has observed — arming with After set beyond the sequence length
+// turns a save into a dry run that counts its own crash points.
+func CrashOps() uint64 { return crashOps.Load() }
+
+// crashCheck gates one write-path operation: nil means proceed. The
+// returned CrashPoint is non-nil exactly when this call is the tripping
+// operation (so the caller can apply Short semantics).
+func crashCheck(path, op string) (*CrashPoint, error) {
+	c := crash.Load()
+	if c == nil {
+		return nil, nil
+	}
+	if crashTrips.Load() {
+		// The process died earlier in the sequence; nothing reaches disk.
+		injected.Add(1)
+		return nil, c.err()
+	}
+	if !strings.Contains(path, c.PathContains) || (c.Op != "" && c.Op != op) {
+		return nil, nil
+	}
+	if crashOps.Add(1)-1 != c.After {
+		return nil, nil
+	}
+	crashTrips.Store(true)
+	injected.Add(1)
+	return c, c.err()
+}
+
+// WFile is a write handle routed through the armed crash point. With no
+// crash armed it delegates straight to the underlying *os.File.
+type WFile struct {
+	f    *os.File
+	path string
+}
+
+// Name returns the path of the underlying file.
+func (w *WFile) Name() string { return w.f.Name() }
+
+func (w *WFile) Write(p []byte) (int, error) {
+	cp, err := crashCheck(w.path, OpWrite)
+	if err != nil {
+		if cp != nil && cp.Short && len(p) > 1 {
+			// A torn write: the first half of the buffer lands on disk.
+			n, _ := w.f.Write(p[: len(p)/2 : len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+// Sync fsyncs the file contents through the crash point.
+func (w *WFile) Sync() error {
+	if _, err := crashCheck(w.path, OpSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *WFile) Close() error {
+	if _, err := crashCheck(w.path, OpClose); err != nil {
+		w.f.Close() // release the descriptor; the logical close "crashed"
+		return err
+	}
+	return w.f.Close()
+}
+
+// Create opens path for writing through the armed crash point.
+func Create(path string) (*WFile, error) {
+	if _, err := crashCheck(path, OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &WFile{f: f, path: path}, nil
+}
+
+// CreateTemp is os.CreateTemp routed through the armed crash point; the
+// crash point matches against dir/pattern (the temp suffix is random).
+func CreateTemp(dir, pattern string) (*WFile, error) {
+	logical := dir + string(os.PathSeparator) + pattern
+	if _, err := crashCheck(logical, OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &WFile{f: f, path: logical}, nil
+}
+
+// Rename renames oldpath to newpath through the armed crash point, which
+// matches against the destination.
+func Rename(oldpath, newpath string) error {
+	if _, err := crashCheck(newpath, OpRename); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// SyncDir fsyncs a directory, making renames inside it durable. Crash
+// points match against the directory path.
+func SyncDir(dir string) error {
+	if _, err := crashCheck(dir, OpSyncDir); err != nil {
+		return err
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Remove deletes one file through the armed crash point.
+func Remove(path string) error {
+	if _, err := crashCheck(path, OpRemove); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// RemoveAll deletes a tree through the armed crash point.
+func RemoveAll(path string) error {
+	if _, err := crashCheck(path, OpRemove); err != nil {
+		return err
+	}
+	return os.RemoveAll(path)
+}

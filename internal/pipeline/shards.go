@@ -9,13 +9,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"slices"
 
 	"alicoco/internal/core"
 	"alicoco/internal/faultfs"
 	"alicoco/internal/par"
+	"alicoco/internal/snapstore"
 	"alicoco/internal/world"
 )
 
@@ -170,44 +170,59 @@ func (w *shardMetaWire) extras() snapshotExtras {
 }
 
 // writeFileAtomic writes bytes produced by emit to a temp file in dir and
-// renames it to name, so a crash mid-write never leaves a half-written file
-// under the real name.
+// renames it to name, with snapstore's full durability discipline (fsync
+// file, checked close, rename, fsync parent dir) — a crash mid-write never
+// leaves a half-written file under the real name, and a power loss right
+// after the rename cannot lose the contents either.
 func writeFileAtomic(dir, name string, emit func(w io.Writer) error) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := emit(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+	return snapstore.WriteFileAtomic(dir, name, emit)
 }
 
-// SaveShards partitions the live net into count shards and writes them as a
-// sharded snapshot directory. The shard files are frozen and written in
-// parallel (each is an independent range of the net); the manifest is
-// written last as the commit point. Requires a live Net — a serving-only
-// Artifacts has nothing to partition.
+// SaveShards partitions the live net into count shards and commits them as
+// a new generation in the snapshot store at dir (creating the store, and
+// its catalog, if dir is new or was a flat snapshot directory). The shard
+// files are frozen and written in parallel into a temp generation
+// directory; the catalog update is the single commit point, so a crashed
+// save leaves only debris the next open sweeps away. Retention defaults to
+// snapstore.DefaultRetain; use SaveShardsRetain to choose. Requires a live
+// Net — a serving-only Artifacts has nothing to partition.
 func (a *Artifacts) SaveShards(dir string, count int) (*ShardManifest, error) {
+	man, _, err := a.SaveShardsRetain(dir, count, 0)
+	return man, err
+}
+
+// SaveShardsRetain is SaveShards with an explicit retention count
+// (<= 0 means snapstore.DefaultRetain); it also returns the committed
+// generation.
+func (a *Artifacts) SaveShardsRetain(dir string, count, retain int) (*ShardManifest, snapstore.Gen, error) {
 	if a.Net == nil {
-		return nil, errors.New("pipeline: save shards: no live net (serving-only artifacts)")
+		return nil, snapstore.Gen{}, errors.New("pipeline: save shards: no live net (serving-only artifacts)")
 	}
 	if a.Serving == nil {
-		return nil, errors.New("pipeline: save shards: no serving metadata")
+		return nil, snapstore.Gen{}, errors.New("pipeline: save shards: no serving metadata")
 	}
 	if count < 1 {
 		count = 1
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("pipeline: save shards: %w", err)
+	store, err := snapstore.Open(dir, snapstore.Options{Retain: retain})
+	if err != nil {
+		return nil, snapstore.Gen{}, fmt.Errorf("pipeline: save shards: %w", err)
 	}
+	tx, err := store.Begin()
+	if err != nil {
+		return nil, snapstore.Gen{}, fmt.Errorf("pipeline: save shards: %w", err)
+	}
+	defer tx.Abort()
 	shards := a.Net.FreezeShards(count)
-	return writeShardDir(dir, shards, a.servingExtras())
+	man, err := writeShardDir(tx.Dir(), shards, a.servingExtras())
+	if err != nil {
+		return nil, snapstore.Gen{}, err
+	}
+	gen, err := tx.Commit(ShardManifestName, nil)
+	if err != nil {
+		return nil, snapstore.Gen{}, fmt.Errorf("pipeline: save shards: %w", err)
+	}
+	return man, gen, nil
 }
 
 // writeShardDir persists already-frozen shards plus the serving extras as
@@ -410,12 +425,19 @@ func loadShardMeta(dir string, man *ShardManifest) (*snapshotExtras, error) {
 	return &extras, nil
 }
 
-// LoadShards loads a complete sharded snapshot directory: manifest, serving
+// LoadShards loads a complete sharded snapshot: manifest, serving
 // metadata, and all shard files (in parallel), verified against the
-// manifest's checksums. Like LoadSnapshot it returns a serving-only
-// Artifacts — Shards holds the loaded partition and Frozen is nil. Per-file
-// failures come back as *ShardLoadError (the first failing shard).
+// manifest's checksums. dir may be a snapshot-store root (the newest
+// committed generation is loaded), a generation directory, or a
+// pre-catalog flat snapshot directory. Like LoadSnapshot it returns a
+// serving-only Artifacts — Shards holds the loaded partition and Frozen is
+// nil. Per-file failures come back as *ShardLoadError (the first failing
+// shard).
 func LoadShards(dir string) (*Artifacts, *ShardManifest, error) {
+	dir, _, _, err := snapstore.ResolveDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: load shards: %w", err)
+	}
 	man, err := ReadManifest(dir)
 	if err != nil {
 		return nil, nil, err

@@ -9,14 +9,22 @@ import (
 	"testing"
 
 	"alicoco/internal/core"
+	"alicoco/internal/snapstore"
 )
 
+// saveShardDir commits one generation into a fresh store and returns the
+// committed generation's directory (where the shard files actually live),
+// which the corruption tests mutate directly.
 func saveShardDir(t *testing.T, a *Artifacts, count int) (string, *ShardManifest) {
 	t.Helper()
-	dir := t.TempDir()
-	man, err := a.SaveShards(dir, count)
+	root := t.TempDir()
+	man, err := a.SaveShards(root, count)
 	if err != nil {
 		t.Fatalf("SaveShards(%d): %v", count, err)
+	}
+	dir, _, _, err := snapstore.ResolveDir(root)
+	if err != nil {
+		t.Fatalf("ResolveDir: %v", err)
 	}
 	return dir, man
 }

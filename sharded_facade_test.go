@@ -282,10 +282,20 @@ func TestReloadShardsDiff(t *testing.T) {
 	}
 }
 
-// copyShardDir copies every file of a sharded snapshot directory, manifest
-// last (mirroring the writer's commit ordering).
+// copyShardDir copies every file of a sharded snapshot between the two
+// snapshots' resolved generation directories, manifest last (mirroring the
+// writer's commit ordering).
 func copyShardDir(t *testing.T, src, dst string) {
 	t.Helper()
+	srcLoc, err := resolveShardDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstLoc, err := resolveShardDir(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst = srcLoc.dir, dstLoc.dir
 	entries, err := os.ReadDir(src)
 	if err != nil {
 		t.Fatal(err)
