@@ -897,8 +897,24 @@ func (s *servingState) searchOne(query string, maxItems int) SearchResult {
 	return s.compose(s.search.Search(query, maxItems))
 }
 
+func (s *servingState) searchOneCtx(ctx context.Context, query string, maxItems int) (SearchResult, error) {
+	resp, err := s.search.SearchCtx(ctx, query, maxItems)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return s.compose(resp), nil
+}
+
 func (s *servingState) searchOneBytes(query []byte, maxItems int) SearchResult {
 	return s.compose(s.search.SearchBytes(query, maxItems))
+}
+
+func (s *servingState) searchOneBytesCtx(ctx context.Context, query []byte, maxItems int) (SearchResult, error) {
+	resp, err := s.search.SearchBytesCtx(ctx, query, maxItems)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return s.compose(resp), nil
 }
 
 func (s *servingState) compose(resp search.Response) SearchResult {
@@ -953,48 +969,59 @@ func (c *CoCo) RecommendBatch(sessions [][]int, k int) []BatchRecommendation {
 }
 
 func (s *servingState) recommendOne(viewedItemIDs []int, k int) (Recommendation, bool) {
+	rec, ok, _ := s.recommendOneCtx(context.Background(), viewedItemIDs, k)
+	return rec, ok
+}
+
+func (s *servingState) recommendOneCtx(ctx context.Context, viewedItemIDs []int, k int) (Recommendation, bool, error) {
 	viewed := make([]core.NodeID, 0, len(viewedItemIDs))
 	for _, id := range viewedItemIDs {
 		if node, ok := s.itemNode[id]; ok {
 			viewed = append(viewed, node)
 		}
 	}
-	rec, ok := s.rec.Recommend(viewed, k)
+	rec, ok, err := s.rec.RecommendCtx(ctx, viewed, k)
+	if err != nil {
+		return Recommendation{}, false, err
+	}
 	if !ok {
-		return Recommendation{}, false
+		return Recommendation{}, false, nil
 	}
 	nd, _ := s.reader.Node(rec.Concept)
 	return Recommendation{
 		Reason: rec.Reason,
 		Card:   ConceptCard{Name: nd.Name, Items: s.itemsOf(rec.Items)},
-	}, true
+	}, true, nil
 }
 
-// Deadline-aware entry points: the *Ctx variants refuse to start (or keep
-// fanning out) engine work once ctx is canceled or past its deadline, so
-// an overloaded server stops burning cycles on responses nobody will wait
-// for. They never return partial results as success — a batch cut short by
-// the deadline reports the context error and the caller must discard the
-// slice. Cancellation is checked between work items, not inside a single
-// engine dispatch (one query's compute is microseconds; interrupting it
-// buys nothing and would thread ctx through the zero-alloc hot path).
+// Deadline-aware entry points: the *Ctx variants refuse to start engine
+// work once ctx is canceled or past its deadline, and the deadline
+// propagates all the way into the engines — ctx is checked between batch
+// items, between engine phases, and per work unit just after each shard
+// crossing, so admitted-but-doomed work (one slow shard, an expired
+// budget) is abandoned at the next shard boundary instead of stalling the
+// whole scatter-gather. They never return partial results as success — a
+// query or batch cut short by the deadline reports the context error and
+// the caller must discard the result. Cache hits never consult ctx (they
+// are one in-memory copy), which preserves the degraded cache-hits-only
+// mode under overload.
 
-// SearchCtx is Search guarded by a context: it returns ctx's error
-// instead of dispatching once the deadline has passed.
+// SearchCtx is Search guarded by a context; see above for the
+// propagation contract.
 func (c *CoCo) SearchCtx(ctx context.Context, query string, maxItems int) (SearchResult, error) {
 	if err := ctx.Err(); err != nil {
 		return SearchResult{}, err
 	}
-	return c.serving.Load().searchOne(query, maxItems), nil
+	return c.serving.Load().searchOneCtx(ctx, query, maxItems)
 }
 
-// RecommendCtx is Recommend guarded by a context.
+// RecommendCtx is Recommend guarded by a context; see above for the
+// propagation contract.
 func (c *CoCo) RecommendCtx(ctx context.Context, viewedItemIDs []int, k int) (Recommendation, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return Recommendation{}, false, err
 	}
-	rec, ok := c.serving.Load().recommendOne(viewedItemIDs, k)
-	return rec, ok, nil
+	return c.serving.Load().recommendOneCtx(ctx, viewedItemIDs, k)
 }
 
 // SearchBatchCtx is SearchBatch guarded by a context: workers stop picking
@@ -1011,11 +1038,12 @@ func (c *CoCo) SearchBatchCtx(ctx context.Context, queries []string, maxItems in
 		if stopped.Load() {
 			return
 		}
-		if ctx.Err() != nil {
+		res, err := s.searchOneCtx(ctx, queries[i], maxItems)
+		if err != nil {
 			stopped.Store(true)
 			return
 		}
-		out[i] = s.searchOne(queries[i], maxItems)
+		out[i] = res
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -1038,11 +1066,12 @@ func (c *CoCo) SearchBatchBytesCtx(ctx context.Context, queries [][]byte, maxIte
 		if stopped.Load() {
 			return
 		}
-		if ctx.Err() != nil {
+		res, err := s.searchOneBytesCtx(ctx, queries[i], maxItems)
+		if err != nil {
 			stopped.Store(true)
 			return
 		}
-		out[i] = s.searchOneBytes(queries[i], maxItems)
+		out[i] = res
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -1063,11 +1092,11 @@ func (c *CoCo) RecommendBatchCtx(ctx context.Context, sessions [][]int, k int) (
 		if stopped.Load() {
 			return
 		}
-		if ctx.Err() != nil {
+		rec, ok, err := s.recommendOneCtx(ctx, sessions[i], k)
+		if err != nil {
 			stopped.Store(true)
 			return
 		}
-		rec, ok := s.recommendOne(sessions[i], k)
 		out[i] = BatchRecommendation{Found: ok, Recommendation: rec}
 	})
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,78 @@
+// Command cocoload replays realistic traffic against a cocoserve and
+// reports whether the serving layer kept its SLOs.
+//
+// It is an open-loop driver: arrivals are scheduled by the clock at -rate,
+// never gated on responses, so a struggling server faces the full offered
+// load and the measured tail includes queueing that a closed-loop
+// benchmark would hide (coordinated omission). Request mixes come from the
+// same world model the net is built from:
+//
+//	-mix uniform      every concept equally likely (cache-friendly)
+//	-mix zipf         hot-key skew, the shape of production query logs
+//	-mix adversarial  cache-busting unique queries + unknown-item sessions
+//	-mix all          one phase per mix
+//
+// Two ways to point it at a server:
+//
+//	cocoload -addr http://host:8080 ...   an already-running cocoserve
+//	cocoload -inprocess ...               builds a sharded net, saves a
+//	                                      snapshot catalog, and embeds the
+//	                                      production server stack in-process
+//
+// -chaos (requires -inprocess, because the fault injection points are
+// process-global) runs each mix twice: a clean baseline, then the same
+// offered load with reload churn hammering /reload, one artificially slow
+// shard at every scatter-gather boundary, and corrupt reads injected into
+// one shard's snapshot file so its reloads fail mid-run. The SLOs asserted
+// over the chaos phase:
+//
+//   - zero 5xx from query endpoints — overload sheds with 429, never errors,
+//   - zero hangs — every request is answered or refused within 2x deadline,
+//   - admitted requests finish inside -deadline (p99 of successes),
+//   - goodput (in-deadline successes/sec) stays above -floor x baseline —
+//     shedding degrades throughput, it must not collapse it.
+//
+// The report is written to -out (default BENCH_serve.json); the exit code
+// is non-zero when any SLO was violated.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocoload: ")
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rep.Phases {
+		tag := ""
+		if p.Chaos {
+			tag = " +chaos"
+		}
+		fmt.Printf("%-14s offered %6.0f rps  goodput %7.1f rps  p50 %6.1fms  p99 %7.1fms  p999 %7.1fms  ok %d shed %d late %d 5xx %d hang %d\n",
+			p.Mix+tag, p.RateRPS, p.GoodputRPS, p.P50MS, p.P99MS, p.P999MS,
+			p.Counts.OK, p.Counts.Shed, p.Counts.LateOK, p.Counts.ServerErr, p.Counts.Hang)
+	}
+	if cfg.out != "" {
+		if err := rep.Write(cfg.out); err != nil {
+			log.Fatalf("write %s: %v", cfg.out, err)
+		}
+		log.Printf("report written to %s", cfg.out)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			log.Printf("SLO VIOLATION: %s", v)
+		}
+		os.Exit(1)
+	}
+	log.Printf("all SLOs held")
+}

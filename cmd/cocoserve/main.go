@@ -104,813 +104,6 @@
 // serves exactly as before.
 package main
 
-import (
-	"bytes"
-	"encoding/json"
-	"flag"
-	"log"
-	"net/http"
-	"strconv"
-	"sync"
-	"sync/atomic"
-	"time"
+import "alicoco/internal/serve"
 
-	"alicoco"
-	"alicoco/internal/qcache"
-	"alicoco/internal/resilience"
-	"alicoco/internal/snapstore"
-)
-
-// maxRecommendK caps the k parameter of /recommend so a single request
-// cannot ask for an unbounded result set.
-const maxRecommendK = 100
-
-// defaultSearchItems is the per-card item count of GET /search and the
-// default for batches; maxSearchItems caps what a batch may request.
-const (
-	defaultSearchItems = 12
-	maxSearchItems     = 100
-)
-
-// maxBatch caps how many queries or sessions one batch request may carry.
-const maxBatch = 256
-
-// maxBatchBody caps a batch request's body size before decoding, so the
-// maxBatch element cap cannot be sidestepped by one enormous JSON payload.
-const maxBatchBody = 1 << 20
-
-// maxPooledEncodeBuf is the largest response buffer worth keeping in the
-// codec pool; a rare huge batch response should not pin megabytes per
-// pool slot.
-const maxPooledEncodeBuf = 64 << 10
-
-type server struct {
-	coco *alicoco.CoCo
-
-	// snapshot is the file /reload re-reads; empty when the net was built
-	// live, in which case /reload re-freezes instead. Reloads serialize on
-	// the facade's own offline lock; queries are never blocked.
-	snapshot string
-
-	// snapshotDir is the sharded snapshot directory /reload diffs against
-	// serving (only shards whose checksums changed are re-read); it takes
-	// precedence over snapshot. /reload?shard=i force-reloads one shard.
-	snapshotDir string
-
-	// searchBytes / recBytes cache the *encoded JSON bytes* of the hot
-	// single-query GET endpoints, keyed on the raw query string and
-	// stamped with the facade's serving generation (a /reload invalidates
-	// them exactly like the engine-level result caches): a hit skips
-	// parameter parsing, engine dispatch, and JSON encoding — one cache
-	// lookup, one buffer write. nil disables the layer (-cache-size 0).
-	searchBytes *qcache.Cache
-	recBytes    *qcache.Cache
-
-	// cfg holds the resilience policy; the zero value (direct &server{}
-	// literals in tests) means no deadlines, no gating, no reload
-	// hardening — every resilience type below tolerates staying nil.
-	cfg serveConfig
-
-	// gate admits cache-missing engine dispatches: a bounded number run,
-	// a bounded queue waits, everyone else is shed with 429. Cache hits
-	// bypass it entirely, which is the degraded cache-hits-only mode.
-	gate *resilience.Gate
-
-	// breaker + backoff harden the snapshot reload path: consecutive
-	// reload failures open the breaker (the -refresh loop stops hammering
-	// the broken file) and retries within one refresh trigger space out
-	// with jittered exponential backoff.
-	breaker *resilience.Breaker
-	backoff *resilience.Backoff
-
-	// draining flips when shutdown starts: /readyz fails so load
-	// balancers stop routing here while in-flight requests finish.
-	draining atomic.Bool
-
-	// Resilience counters surfaced by /stats.
-	panics         atomic.Uint64 // handler panics converted to 500s
-	degraded       atomic.Uint64 // misses refused for lack of deadline budget
-	reloadFailures atomic.Uint64 // reload attempts that returned an error
-	reloadRetries  atomic.Uint64 // backoff retries after a failed reload
-	quarantines    atomic.Uint64 // snapshot files renamed aside
-
-	// store is the generation catalog behind -snapshot-dir, nil when the
-	// directory is flat (pre-catalog) or absent; it powers rollback,
-	// retention pruning, and scrub repair. See snapstore.go in this
-	// package.
-	store *snapstore.Store
-
-	// Snapstore lifecycle counters surfaced by /stats.
-	rollbacks          atomic.Uint64 // completed rollbacks (automatic + operator)
-	validationFailures atomic.Uint64 // post-swap validation rejections
-	scrubPasses        atomic.Uint64 // completed scrub passes
-	scrubRepairs       atomic.Uint64 // files re-materialized by the scrubber
-	scrubQuarantines   atomic.Uint64 // files quarantined by the scrubber
-	scrubUnrepaired    atomic.Uint64 // mismatches no repair source covered
-	scrubErrors        atomic.Uint64 // scrub passes that failed outright
-
-	// scrubMu guards the most recent scrub report for /stats.
-	scrubMu   sync.Mutex
-	lastScrub *snapstore.ScrubReport
-
-	// reloadMu serializes reload attempts with their failure bookkeeping
-	// (consecFailures drives quarantine); the facade's offline lock only
-	// serializes the swap itself.
-	reloadMu      sync.Mutex
-	consecReloads int         // consecutive reload failures, guarded by reloadMu
-	shardFails    map[int]int // consecutive failures per shard, guarded by reloadMu
-
-	// badGens skiplists catalog generations that loaded but failed
-	// post-swap validation (or failed to load during a rollback walk):
-	// the refresh loop holds instead of republishing them, until a
-	// generation newer than every bad one lands. Guarded by reloadMu.
-	badGens map[uint64]bool
-
-	// lastRollback describes the most recent rollback for /stats.
-	// Guarded by reloadMu.
-	lastRollback *rollbackStat
-
-	// hook, when set before serving starts, is called at the top of the
-	// query handlers ("search", "recommend", ...) and again after
-	// admission ("search.engine", ...) — the fault-injection seam chaos
-	// tests use to panic or stall inside a request.
-	hook func(op string)
-}
-
-// newServer wires a server around a facade with the given per-cache entry
-// budget (the facade's engine-level caches are resized to match) and the
-// default resilience policy.
-func newServer(coco *alicoco.CoCo, snapshot string, cacheSize int) *server {
-	cfg := defaultServeConfig()
-	cfg.cacheSize = cacheSize
-	return newServerCfg(coco, snapshot, cfg)
-}
-
-// newServerCfg is newServer with an explicit resilience policy.
-func newServerCfg(coco *alicoco.CoCo, snapshot string, cfg serveConfig) *server {
-	coco.SetQueryCacheCapacity(cfg.cacheSize)
-	s := &server{coco: coco, snapshot: snapshot, cfg: cfg}
-	if cfg.cacheSize > 0 {
-		s.searchBytes = qcache.New(cfg.cacheSize)
-		s.recBytes = qcache.New(cfg.cacheSize)
-	}
-	if cfg.maxInflight > 0 {
-		s.gate = resilience.NewGate(cfg.maxInflight, cfg.queueDepth)
-	}
-	if cfg.breakerThreshold > 0 {
-		s.breaker = resilience.NewBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
-	}
-	s.backoff = resilience.NewBackoff(cfg.backoffBase, cfg.backoffMax, time.Now().UnixNano())
-	return s
-}
-
-// jsonCodec is a pooled response encoder: the buffer and the encoder bound
-// to it are recycled across requests, so steady-state encoding reuses one
-// grown buffer instead of allocating per response.
-type jsonCodec struct {
-	buf bytes.Buffer
-	enc *json.Encoder
-}
-
-var codecs = sync.Pool{New: func() any {
-	c := &jsonCodec{}
-	c.enc = json.NewEncoder(&c.buf)
-	return c
-}}
-
-func (s *server) writeJSON(w http.ResponseWriter, v any) {
-	s.writeJSONCaching(w, v, nil, qcache.Stamp{}, "")
-}
-
-// writeJSONCaching encodes v through a pooled codec, writes it, and — when
-// cache is non-nil — stores a private copy of the encoded bytes under
-// (stamp, key), so the next identical request is a single buffer write.
-// The stamp was read by the caller *before* computing v, which is what
-// makes a cached entry never older than the generation it is keyed under
-// (a concurrent reload can only make v newer than the stamp, and the new
-// generation stops matching the old entries entirely).
-func (s *server) writeJSONCaching(w http.ResponseWriter, v any, cache *qcache.Cache, stamp qcache.Stamp, key string) {
-	c := codecs.Get().(*jsonCodec)
-	defer func() {
-		if c.buf.Cap() <= maxPooledEncodeBuf {
-			codecs.Put(c)
-		}
-	}()
-	c.buf.Reset()
-	if err := c.enc.Encode(v); err != nil {
-		// Nothing has been written yet, so the client gets a clean 500
-		// instead of a truncated body.
-		log.Printf("encode: %v", err)
-		http.Error(w, "encode failed", http.StatusInternalServerError)
-		return
-	}
-	if cache != nil && s.coco.CacheStamp() == stamp {
-		cache.PutString(stamp, key, append([]byte(nil), c.buf.Bytes()...))
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(c.buf.Bytes()); err != nil {
-		log.Printf("write: %v", err)
-	}
-}
-
-// writeResults encodes {"results": v} by hand-appending the envelope
-// around one Encode of the results slice itself, byte-identical to
-// encoding a map[string]any{"results": v} but without allocating the
-// one-entry map and reflecting over it per batch response.
-func (s *server) writeResults(w http.ResponseWriter, results any) {
-	c := codecs.Get().(*jsonCodec)
-	defer func() {
-		if c.buf.Cap() <= maxPooledEncodeBuf {
-			codecs.Put(c)
-		}
-	}()
-	c.buf.Reset()
-	c.buf.WriteString(`{"results":`)
-	if err := c.enc.Encode(results); err != nil {
-		log.Printf("encode: %v", err)
-		http.Error(w, "encode failed", http.StatusInternalServerError)
-		return
-	}
-	b := c.buf.Bytes()
-	b[len(b)-1] = '}' // Encode's trailing newline becomes the closing brace
-	c.buf.WriteByte('\n')
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(c.buf.Bytes()); err != nil {
-		log.Printf("write: %v", err)
-	}
-}
-
-// writeJSONBytes serves an already-encoded cached response.
-func writeJSONBytes(w http.ResponseWriter, b []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(b); err != nil {
-		log.Printf("write: %v", err)
-	}
-}
-
-// cachedResp is a non-200 response held in the encoded-bytes caches:
-// requests that deterministically fail for this snapshot (unknown items,
-// malformed parameters) repeat just like good ones, and replaying the
-// tiny error is even cheaper than re-parsing and re-failing.
-type cachedResp struct {
-	status int
-	body   []byte
-}
-
-// writeCached replays a hit from an encoded-bytes cache: either raw JSON
-// 200 bytes or a cached error response.
-func writeCached(w http.ResponseWriter, v any) {
-	if cr, ok := v.(*cachedResp); ok {
-		writeErrorBytes(w, cr)
-		return
-	}
-	writeJSONBytes(w, v.([]byte))
-}
-
-// writeErrorBytes answers with exactly the headers and body http.Error
-// would have produced for the same message and status.
-func writeErrorBytes(w http.ResponseWriter, cr *cachedResp) {
-	h := w.Header()
-	h.Set("Content-Type", "text/plain; charset=utf-8")
-	h.Set("X-Content-Type-Options", "nosniff")
-	w.WriteHeader(cr.status)
-	if _, err := w.Write(cr.body); err != nil {
-		log.Printf("write: %v", err)
-	}
-}
-
-// errorCaching answers msg/status via http.Error and — when the outcome
-// is deterministic for this snapshot generation — caches the encoded
-// error under (stamp, key) so the next identical request replays it
-// without parsing anything. The same stamp discipline as
-// writeJSONCaching applies: stamp was read before the request was
-// evaluated, and a reload stops matching it.
-func (s *server) errorCaching(w http.ResponseWriter, msg string, status int, cache *qcache.Cache, stamp qcache.Stamp, key string) {
-	if cache != nil && s.coco.CacheStamp() == stamp {
-		cache.PutString(stamp, key, &cachedResp{status: status, body: []byte(msg + "\n")})
-	}
-	http.Error(w, msg, status)
-}
-
-// statsResponse is the /stats payload: the Table-2 net shape plus the
-// serving snapshot's operational metadata, the query-cache counters, and
-// the resilience counters.
-type statsResponse struct {
-	alicoco.Stats
-	Snapshot   snapshotInfo   `json:"snapshot"`
-	Snapstore  snapstoreInfo  `json:"snapstore"`
-	Cache      cacheInfo      `json:"cache"`
-	Resilience resilienceInfo `json:"resilience"`
-}
-
-// resilienceInfo is the /stats "resilience" section: everything a load
-// harness or an operator needs to see the server's protective machinery
-// working — admission gate state, shed and panic counters, and the reload
-// pipeline's failure/retry/breaker/quarantine state.
-type resilienceInfo struct {
-	Admission        resilience.GateStats `json:"admission"`
-	PanicsRecovered  uint64               `json:"panics_recovered"`
-	DegradedRefusals uint64               `json:"degraded_refusals"`
-	Draining         bool                 `json:"draining"`
-	Reload           reloadInfo           `json:"reload"`
-}
-
-type reloadInfo struct {
-	Failures            uint64                  `json:"failures"`
-	ConsecutiveFailures int                     `json:"consecutive_failures"`
-	Retries             uint64                  `json:"retries"`
-	BackoffAttempt      int                     `json:"backoff_attempt"`
-	Quarantined         uint64                  `json:"quarantined"`
-	Breaker             resilience.BreakerStats `json:"breaker"`
-}
-
-func (s *server) resilienceInfo() resilienceInfo {
-	s.reloadMu.Lock()
-	consec := s.consecReloads
-	s.reloadMu.Unlock()
-	backoffAttempt := 0
-	if s.backoff != nil {
-		backoffAttempt = s.backoff.Attempt()
-	}
-	return resilienceInfo{
-		Admission:        s.gate.Stats(),
-		PanicsRecovered:  s.panics.Load(),
-		DegradedRefusals: s.degraded.Load(),
-		Draining:         s.draining.Load(),
-		Reload: reloadInfo{
-			Failures:            s.reloadFailures.Load(),
-			ConsecutiveFailures: consec,
-			Retries:             s.reloadRetries.Load(),
-			BackoffAttempt:      backoffAttempt,
-			Quarantined:         s.quarantines.Load(),
-			Breaker:             s.breaker.Stats(),
-		},
-	}
-}
-
-// cacheInfo breaks the hit/miss/eviction counters down by cache layer:
-// the two facade-level result caches (shared by the single and batch
-// endpoints) and the two encoded-bytes caches of the single-query GETs.
-type cacheInfo struct {
-	Search         qcache.Stats `json:"search"`
-	Recommend      qcache.Stats `json:"recommend"`
-	SearchBytes    qcache.Stats `json:"search_bytes"`
-	RecommendBytes qcache.Stats `json:"recommend_bytes"`
-}
-
-func (s *server) cacheInfo() cacheInfo {
-	ci := cacheInfo{
-		SearchBytes:    s.searchBytes.Stats(),
-		RecommendBytes: s.recBytes.Stats(),
-	}
-	ci.Search, ci.Recommend = s.coco.QueryCacheStats()
-	return ci
-}
-
-type snapshotInfo struct {
-	Source      string      `json:"source"`             // build | snapshot | shards | refreeze
-	Generation  uint64      `json:"generation"`         // serving publishes since startup
-	Checksum    string      `json:"checksum,omitempty"` // CRC-32 of the loaded snapshot content
-	File        string      `json:"file,omitempty"`     // -snapshot path, when serving from one
-	Dir         string      `json:"dir,omitempty"`      // -snapshot-dir path, when serving shards
-	PublishedAt string      `json:"published_at"`       // RFC 3339
-	AgeSeconds  float64     `json:"age_seconds"`        // time since publish
-	Nodes       int         `json:"nodes"`
-	Edges       int         `json:"edges"`
-	Shards      []shardStat `json:"shards,omitempty"` // per-shard state of a partitioned store
-}
-
-// shardStat is one shard's slice of the /stats snapshot section:
-// generation and publish time reflect when *this shard's content* last
-// changed (a reload that skipped it leaves them alone), and failures
-// counts its consecutive reload failures toward quarantine.
-type shardStat struct {
-	Index       int     `json:"index"`
-	Checksum    string  `json:"checksum,omitempty"`
-	Generation  uint64  `json:"generation"`
-	PublishedAt string  `json:"published_at"`
-	AgeSeconds  float64 `json:"age_seconds"`
-	Nodes       int     `json:"nodes"`
-	Edges       int     `json:"edges"`
-	Failures    int     `json:"failures,omitempty"`
-}
-
-func (s *server) snapshotInfo() snapshotInfo {
-	info := s.coco.ServingInfo()
-	out := snapshotInfo{
-		Source:      info.Source,
-		Generation:  info.Generation,
-		Checksum:    info.Checksum,
-		File:        s.snapshot,
-		Dir:         s.snapshotDir,
-		PublishedAt: info.PublishedAt.UTC().Format(time.RFC3339),
-		AgeSeconds:  time.Since(info.PublishedAt).Seconds(),
-		Nodes:       info.Nodes,
-		Edges:       info.Edges,
-	}
-	if shards := s.coco.ShardInfos(); len(shards) > 0 {
-		s.reloadMu.Lock()
-		for _, si := range shards {
-			out.Shards = append(out.Shards, shardStat{
-				Index:       si.Index,
-				Checksum:    si.Checksum,
-				Generation:  si.Generation,
-				PublishedAt: si.PublishedAt.UTC().Format(time.RFC3339),
-				AgeSeconds:  time.Since(si.PublishedAt).Seconds(),
-				Nodes:       si.Nodes,
-				Edges:       si.Edges,
-				Failures:    s.shardFails[si.Index],
-			})
-		}
-		s.reloadMu.Unlock()
-	}
-	return out
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, statsResponse{
-		Stats:      s.coco.Stats(),
-		Snapshot:   s.snapshotInfo(),
-		Snapstore:  s.snapstoreInfo(),
-		Cache:      s.cacheInfo(),
-		Resilience: s.resilienceInfo(),
-	})
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if h := s.hook; h != nil {
-		h("search")
-	}
-	// The stamp is read before anything else: a response computed after a
-	// concurrent reload can only be newer than it, never staler.
-	raw := r.URL.RawQuery
-	stamp := s.coco.CacheStamp()
-	if v, ok := s.searchBytes.GetString(stamp, raw); ok {
-		writeCached(w, v)
-		return
-	}
-	q, _ := queryParam(raw, "q")
-	if q == "" {
-		s.errorCaching(w, "missing q parameter", http.StatusBadRequest, s.searchBytes, stamp, raw)
-		return
-	}
-	ctx, release, ok := s.admit(w, r, s.cfg.deadline)
-	if !ok {
-		return
-	}
-	defer release()
-	if h := s.hook; h != nil {
-		h("search.engine")
-	}
-	res, err := s.coco.SearchCtx(ctx, q, defaultSearchItems)
-	if err != nil {
-		s.shed(w)
-		return
-	}
-	s.writeJSONCaching(w, res, s.searchBytes, stamp, raw)
-}
-
-// handleSearchBatch fans a page of queries across workers against one
-// pinned snapshot: POST {"queries": [...], "max_items": 12} answers
-// {"results": [...]} in request order.
-func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	if h := s.hook; h != nil {
-		h("search.batch")
-	}
-	sc := getScratch()
-	defer putScratch(sc)
-	var err error
-	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
-		writeBodyError(w, err)
-		return
-	}
-	queries, maxItems, err := parseSearchBatchBody(sc)
-	if err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(queries) == 0 {
-		http.Error(w, "missing queries", http.StatusBadRequest)
-		return
-	}
-	if len(queries) > maxBatch {
-		http.Error(w, "too many queries (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
-		return
-	}
-	for _, q := range queries {
-		if len(bytes.TrimSpace(q)) == 0 {
-			http.Error(w, "empty query in batch", http.StatusBadRequest)
-			return
-		}
-	}
-	if maxItems <= 0 {
-		maxItems = defaultSearchItems
-	} else if maxItems > maxSearchItems {
-		maxItems = maxSearchItems
-	}
-	ctx, release, ok := s.admit(w, r, s.cfg.batchDeadline)
-	if !ok {
-		return
-	}
-	defer release()
-	results, err := s.coco.SearchBatchBytesCtx(ctx, queries, maxItems)
-	if err != nil {
-		s.shed(w)
-		return
-	}
-	s.writeResults(w, results)
-}
-
-func (s *server) handleConcept(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		http.Error(w, "missing name parameter", http.StatusBadRequest)
-		return
-	}
-	cpt, ok := s.coco.LookupConcept(name)
-	if !ok {
-		http.Error(w, "concept not found", http.StatusNotFound)
-		return
-	}
-	s.writeJSON(w, cpt)
-}
-
-func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	if h := s.hook; h != nil {
-		h("recommend")
-	}
-	raw := r.URL.RawQuery
-	stamp := s.coco.CacheStamp()
-	if v, ok := s.recBytes.GetString(stamp, raw); ok {
-		writeCached(w, v)
-		return
-	}
-	sc := getScratch()
-	defer putScratch(sc)
-	itemsVal, _ := queryParam(raw, "items")
-	ids, err := appendItemsParam(sc.ids[:0], itemsVal)
-	sc.ids = ids
-	if err != nil {
-		s.errorCaching(w, "bad items parameter", http.StatusBadRequest, s.recBytes, stamp, raw)
-		return
-	}
-	k := 10
-	if ks, ok := queryParam(raw, "k"); ok && ks != "" {
-		v, err := strconv.Atoi(ks)
-		if err != nil || v <= 0 {
-			s.errorCaching(w, "bad k parameter", http.StatusBadRequest, s.recBytes, stamp, raw)
-			return
-		}
-		if v > maxRecommendK {
-			v = maxRecommendK
-		}
-		k = v
-	}
-	ctx, release, admitted := s.admit(w, r, s.cfg.deadline)
-	if !admitted {
-		return
-	}
-	defer release()
-	if h := s.hook; h != nil {
-		h("recommend.engine")
-	}
-	rec, ok, err := s.coco.RecommendCtx(ctx, ids, k)
-	if err != nil {
-		s.shed(w)
-		return
-	}
-	if !ok {
-		s.errorCaching(w, "no recommendation for these items", http.StatusNotFound, s.recBytes, stamp, raw)
-		return
-	}
-	s.writeJSONCaching(w, rec, s.recBytes, stamp, raw)
-}
-
-// handleRecommendBatch recommends for a page of sessions against one
-// pinned snapshot: POST {"sessions": [[1,2],[3]], "k": 10} answers
-// {"results": [{"Found": ...}, ...]} in request order (sessions with no
-// recommendation report Found: false instead of failing the batch).
-func (s *server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	if h := s.hook; h != nil {
-		h("recommend.batch")
-	}
-	sc := getScratch()
-	defer putScratch(sc)
-	var err error
-	if sc.body, err = appendReadAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxBatchBody)); err != nil {
-		writeBodyError(w, err)
-		return
-	}
-	sessions, k, err := parseRecommendBatchBody(sc)
-	if err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(sessions) == 0 {
-		http.Error(w, "missing sessions", http.StatusBadRequest)
-		return
-	}
-	if len(sessions) > maxBatch {
-		http.Error(w, "too many sessions (max "+strconv.Itoa(maxBatch)+")", http.StatusBadRequest)
-		return
-	}
-	for _, sess := range sessions {
-		for _, id := range sess {
-			if id < 0 {
-				http.Error(w, "negative item id in batch", http.StatusBadRequest)
-				return
-			}
-		}
-	}
-	if k <= 0 {
-		k = 10
-	} else if k > maxRecommendK {
-		k = maxRecommendK
-	}
-	ctx, release, ok := s.admit(w, r, s.cfg.batchDeadline)
-	if !ok {
-		return
-	}
-	defer release()
-	results, err := s.coco.RecommendBatchCtx(ctx, sessions, k)
-	if err != nil {
-		s.shed(w)
-		return
-	}
-	s.writeResults(w, results)
-}
-
-func (s *server) handleHypernyms(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	s.writeJSON(w, map[string]any{"name": name, "hypernyms": s.coco.Hypernyms(name)})
-}
-
-// handleReload swaps in a fresh serving snapshot: re-read from the snapshot
-// file when one was configured, otherwise a re-freeze of the live net. The
-// loader verifies the file's checksum and structure before anything is
-// published, so a bad snapshot cannot displace the serving state; queries
-// keep serving the old snapshot throughout, and the swap itself is one
-// atomic pointer store.
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	// A manual reload bypasses the breaker's Allow (an operator poking the
-	// endpoint is the half-open probe), but its outcome still feeds the
-	// breaker — a good publish re-closes it for the -refresh loop.
-	if shardStr, ok := queryParam(r.URL.RawQuery, "shard"); ok && shardStr != "" {
-		if s.snapshotDir == "" {
-			http.Error(w, "shard reload requires -snapshot-dir", http.StatusBadRequest)
-			return
-		}
-		i, err := strconv.Atoi(shardStr)
-		if err != nil || i < 0 {
-			http.Error(w, "bad shard parameter", http.StatusBadRequest)
-			return
-		}
-		if err := s.tryReloadShard(i); err != nil {
-			http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		s.writeJSON(w, map[string]any{
-			"status":   "reloaded",
-			"source":   "shard:" + shardStr,
-			"snapshot": s.snapshotInfo(),
-		})
-		return
-	}
-	source, err := s.tryReload()
-	if err != nil {
-		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.writeJSON(w, map[string]any{
-		"status":   "reloaded",
-		"source":   source,
-		"snapshot": s.snapshotInfo(),
-	})
-}
-
-func (s *server) reload() (source string, err error) {
-	if s.snapshotDir != "" {
-		changed, err := s.coco.ReloadShards(s.snapshotDir)
-		return "shards:" + s.snapshotDir + " (" + strconv.Itoa(changed) + " reloaded)", err
-	}
-	if s.snapshot != "" {
-		return "snapshot:" + s.snapshot, s.coco.ReloadFrozen(s.snapshot)
-	}
-	return "refreeze", s.coco.Refreeze()
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/search/batch", s.handleSearchBatch)
-	mux.HandleFunc("/concept", s.handleConcept)
-	mux.HandleFunc("/recommend", s.handleRecommend)
-	mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
-	mux.HandleFunc("/hypernyms", s.handleHypernyms)
-	mux.HandleFunc("/reload", s.handleReload)
-	mux.HandleFunc("/rollback", s.handleRollback)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	return mux
-}
-
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	scale := flag.String("scale", "small", "build scale: small or default")
-	snapshot := flag.String("snapshot", "", "serve from a frozen snapshot file instead of building")
-	snapshotDir := flag.String("snapshot-dir", "",
-		"serve from a sharded snapshot directory (manifest + per-shard files); /reload re-reads only changed shards")
-	shards := flag.Int("shards", 0,
-		"partition a built net into N independently reloadable shards (ignored with -snapshot/-snapshot-dir)")
-	refresh := flag.Duration("refresh", 0, "if > 0, reload the snapshot (or refreeze) on this interval")
-	cacheSize := flag.Int("cache-size", alicoco.DefaultQueryCacheCapacity,
-		"query cache capacity in entries per cache layer (0 disables caching)")
-	cfg := defaultServeConfig()
-	deadline := flag.Duration("deadline", cfg.deadline,
-		"deadline for a single cache-missing query (0 disables)")
-	batchDeadline := flag.Duration("batch-deadline", cfg.batchDeadline,
-		"deadline for a batch request (0 disables)")
-	maxInflight := flag.Int("max-inflight", cfg.maxInflight,
-		"cache-missing engine dispatches allowed to run at once (0 disables admission control)")
-	queueDepth := flag.Int("queue-depth", cfg.queueDepth,
-		"requests allowed to wait for an engine slot before shedding with 429")
-	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout,
-		"how long shutdown waits for in-flight requests before giving up")
-	retain := flag.Int("retain", cfg.retain,
-		"committed snapshot generations to keep on disk when -snapshot-dir is a generation catalog")
-	scrubInterval := flag.Duration("scrub-interval", 0,
-		"if > 0, re-hash the served snapshot files against their manifest on this interval, quarantining and repairing corruption")
-	flag.Parse()
-
-	var coco *alicoco.CoCo
-	var err error
-	switch {
-	case *snapshotDir != "" && *snapshot != "":
-		log.Fatalf("-snapshot and -snapshot-dir are mutually exclusive")
-	case *snapshotDir != "":
-		start := time.Now()
-		coco, err = alicoco.LoadShardedFrozen(*snapshotDir)
-		if err != nil {
-			log.Fatalf("load sharded snapshot: %v", err)
-		}
-		log.Printf("loaded %d shards from %s in %v", coco.NumShards(), *snapshotDir, time.Since(start).Round(time.Millisecond))
-	case *snapshot != "":
-		start := time.Now()
-		coco, err = alicoco.LoadFrozen(*snapshot)
-		if err != nil {
-			log.Fatalf("load snapshot: %v", err)
-		}
-		log.Printf("loaded snapshot %s in %v", *snapshot, time.Since(start).Round(time.Millisecond))
-	default:
-		opts := alicoco.Small()
-		if *scale == "default" {
-			opts = alicoco.Default()
-		}
-		log.Printf("building net (scale=%s, shards=%d)...", *scale, *shards)
-		coco, err = alicoco.BuildSharded(opts, *shards)
-		if err != nil {
-			log.Fatalf("build: %v", err)
-		}
-	}
-	// Every handler reads the published frozen snapshot lock-free, so
-	// request handling never contends with anything — including reloads.
-	info := coco.ServingInfo()
-	log.Printf("serving from frozen snapshot: %d nodes, %d edges (source %s)", info.Nodes, info.Edges, info.Source)
-	cfg.cacheSize = *cacheSize
-	cfg.deadline = *deadline
-	cfg.batchDeadline = *batchDeadline
-	cfg.maxInflight = *maxInflight
-	cfg.queueDepth = *queueDepth
-	cfg.retain = *retain
-	cfg.scrubInterval = *scrubInterval
-	s := newServerCfg(coco, *snapshot, cfg)
-	s.snapshotDir = *snapshotDir
-	s.initStore()
-	if s.store != nil {
-		log.Printf("snapstore catalog at %s: serving gen %d, retain %d, scrub interval %v",
-			s.store.Root(), coco.ServingInfo().CatalogGen, s.store.Retain(), *scrubInterval)
-	}
-	if *cacheSize > 0 {
-		log.Printf("query caches enabled: %d entries per layer (result + encoded-bytes)", *cacheSize)
-	} else {
-		log.Printf("query caches disabled (-cache-size 0)")
-	}
-	log.Printf("serving on %s", *addr)
-	if err := serve(s, *addr, *refresh, *drainTimeout, nil); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("drained cleanly")
-}
+func main() { serve.Main() }

@@ -4,6 +4,7 @@
 package recommend
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 	"sync"
@@ -112,7 +113,24 @@ func (e *Engine) Recommend(viewed []core.NodeID, k int) (Recommendation, bool) {
 // RecommendInto is Recommend writing into a caller-owned Recommendation,
 // recycling its Items backing array across sessions.
 func (e *Engine) RecommendInto(rec *Recommendation, viewed []core.NodeID, k int) bool {
-	return e.recommendRanked(rec, viewed, k, nil)
+	ok, _ := e.recommendRanked(context.Background(), rec, viewed, k, nil)
+	return ok
+}
+
+// RecommendCtx is Recommend bounded by a context: the engine checks ctx
+// per viewed item during concept voting and before the candidate scan, so
+// a session stalled by one slow shard is abandoned at the next shard
+// boundary instead of stalling the caller past its deadline. A cache hit
+// never consults ctx. On error the Recommendation must be discarded.
+func (e *Engine) RecommendCtx(ctx context.Context, viewed []core.NodeID, k int) (Recommendation, bool, error) {
+	var rec Recommendation
+	ok, err := e.RecommendIntoCtx(ctx, &rec, viewed, k)
+	return rec, ok, err
+}
+
+// RecommendIntoCtx is RecommendInto bounded by a context; see RecommendCtx.
+func (e *Engine) RecommendIntoCtx(ctx context.Context, rec *Recommendation, viewed []core.NodeID, k int) (bool, error) {
+	return e.recommendRanked(ctx, rec, viewed, k, nil)
 }
 
 // RecommendRanked is Recommend with an item-scoring model applied inside the
@@ -121,11 +139,14 @@ func (e *Engine) RecommendInto(rec *Recommendation, viewed []core.NodeID, k int)
 // with a ranking model", Section 1). score may be nil (edge-weight order).
 func (e *Engine) RecommendRanked(viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) (Recommendation, bool) {
 	var rec Recommendation
-	ok := e.recommendRanked(&rec, viewed, k, score)
+	ok, _ := e.recommendRanked(context.Background(), &rec, viewed, k, score)
 	return rec, ok
 }
 
-func (e *Engine) recommendRanked(rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) bool {
+// recommendRanked is the shared core: cache probe, engine dispatch, cache
+// fill. The unbounded entry points pass context.Background(), whose Err is
+// a constant nil, so the ctx checks cost nothing on the zero-alloc path.
+func (e *Engine) recommendRanked(ctx context.Context, rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) (bool, error) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
 	rec.Concept = core.InvalidNode
@@ -140,10 +161,14 @@ func (e *Engine) recommendRanked(rec *Recommendation, viewed []core.NodeID, k in
 			rec.Concept = cr.rec.Concept
 			rec.Reason = cr.rec.Reason
 			rec.Items = append(rec.Items[:0], cr.rec.Items...)
-			return cr.ok
+			return cr.ok, nil
 		}
 	}
-	ok := e.recommendUncached(sc, rec, viewed, k, score)
+	ok, err := e.recommendUncached(ctx, sc, rec, viewed, k, score)
+	if err != nil {
+		// Abandoned mid-computation: rec is partial, never cache it.
+		return false, err
+	}
 	if cached {
 		e.cache.Put(e.stamp, sc.key, &cachedRec{ok: ok, rec: Recommendation{
 			Concept: rec.Concept,
@@ -151,7 +176,7 @@ func (e *Engine) recommendRanked(rec *Recommendation, viewed []core.NodeID, k in
 			Items:   append([]core.NodeID(nil), rec.Items...),
 		}})
 	}
-	return ok
+	return ok, nil
 }
 
 // appendSessionKey builds the cache key: k (part of the answer shape,
@@ -166,16 +191,22 @@ func appendSessionKey(dst []byte, viewed []core.NodeID, k int) []byte {
 }
 
 // recommendUncached computes the recommendation; sc is the caller's pooled
-// scratch, and rec has already been reset.
-func (e *Engine) recommendUncached(sc *scratch, rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) bool {
+// scratch, and rec has already been reset. ctx is checked per viewed item
+// and before the candidate scan — each check sits just after a shard
+// crossing, so a session stalled by one slow shard is abandoned at the
+// next boundary.
+func (e *Engine) recommendUncached(ctx context.Context, sc *scratch, rec *Recommendation, viewed []core.NodeID, k int, score func(viewed []core.NodeID, item core.NodeID) float64) (bool, error) {
 	clear(sc.votes)
 	for _, item := range viewed {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		for _, he := range e.net.EConceptsForItem(item, 0) {
 			sc.votes[he.Peer] += he.Weight
 		}
 	}
 	if len(sc.votes) == 0 {
-		return false
+		return false, nil
 	}
 	// Top-1 selection through the bounded heap: O(concepts) with the same
 	// (weight desc, id asc) order the full sort produced.
@@ -189,6 +220,9 @@ func (e *Engine) recommendUncached(sc *scratch, rec *Recommendation, viewed []co
 	clear(sc.seen)
 	for _, v := range viewed {
 		sc.seen[v] = true
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	candidates := e.net.ItemsForEConcept(best, 0)
 	if score != nil {
@@ -208,7 +242,7 @@ func (e *Engine) recommendUncached(sc *scratch, rec *Recommendation, viewed []co
 		for _, ent := range sc.heap.Descending() {
 			rec.Items = append(rec.Items, ent.ID)
 		}
-		return len(rec.Items) > 0
+		return len(rec.Items) > 0, nil
 	}
 	// Edge-weight order: postings are pre-sorted (at freeze time on the
 	// serving store), so the first k unseen candidates are the answer.
@@ -221,7 +255,7 @@ func (e *Engine) recommendUncached(sc *scratch, rec *Recommendation, viewed []co
 			break
 		}
 	}
-	return len(rec.Items) > 0
+	return len(rec.Items) > 0, nil
 }
 
 // CoViewScore builds a ranking function from co-view statistics, for use

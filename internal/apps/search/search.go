@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
 	"slices"
 	"strings"
@@ -136,7 +137,42 @@ func (e *Engine) SearchInto(resp *Response, query string, maxItems int) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
 	sc.raw = append(sc.raw[:0], query...)
-	e.searchInto(sc, resp, sc.raw, maxItems)
+	_ = e.searchInto(context.Background(), sc, resp, sc.raw, maxItems)
+}
+
+// SearchCtx is Search bounded by a context: the engine checks ctx at every
+// phase boundary and per matched primitive on the uncached path, so one
+// slow shard (or an expired deadline) abandons the query at the next shard
+// crossing instead of stalling the whole scatter-gather. A cache hit never
+// consults ctx — it is a single in-memory copy. On error the partially
+// filled Response must be discarded.
+func (e *Engine) SearchCtx(ctx context.Context, query string, maxItems int) (Response, error) {
+	var resp Response
+	err := e.SearchIntoCtx(ctx, &resp, query, maxItems)
+	return resp, err
+}
+
+// SearchIntoCtx is SearchInto bounded by a context; see SearchCtx.
+func (e *Engine) SearchIntoCtx(ctx context.Context, resp *Response, query string, maxItems int) error {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	sc.raw = append(sc.raw[:0], query...)
+	return e.searchInto(ctx, sc, resp, sc.raw, maxItems)
+}
+
+// SearchBytesCtx is SearchBytes bounded by a context; see SearchCtx.
+func (e *Engine) SearchBytesCtx(ctx context.Context, query []byte, maxItems int) (Response, error) {
+	var resp Response
+	err := e.SearchBytesIntoCtx(ctx, &resp, query, maxItems)
+	return resp, err
+}
+
+// SearchBytesIntoCtx is SearchBytesInto bounded by a context; see
+// SearchCtx.
+func (e *Engine) SearchBytesIntoCtx(ctx context.Context, resp *Response, query []byte, maxItems int) error {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	return e.searchInto(ctx, sc, resp, query, maxItems)
 }
 
 // SearchBytes is Search for a query held as raw bytes (e.g. decoded
@@ -154,12 +190,14 @@ func (e *Engine) SearchBytes(query []byte, maxItems int) Response {
 func (e *Engine) SearchBytesInto(resp *Response, query []byte, maxItems int) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
-	e.searchInto(sc, resp, query, maxItems)
+	_ = e.searchInto(context.Background(), sc, resp, query, maxItems)
 }
 
 // searchInto is the shared core behind the string and bytes entry points:
-// cache probe, engine dispatch, cache fill.
-func (e *Engine) searchInto(sc *scratch, resp *Response, query []byte, maxItems int) {
+// cache probe, engine dispatch, cache fill. The unbounded entry points
+// pass context.Background(), whose Err is a constant nil — the checks cost
+// nothing there, keeping the zero-allocation contract intact.
+func (e *Engine) searchInto(ctx context.Context, sc *scratch, resp *Response, query []byte, maxItems int) error {
 	resp.Cards = resp.Cards[:0]
 	resp.Items = resp.Items[:0]
 
@@ -167,18 +205,24 @@ func (e *Engine) searchInto(sc *scratch, resp *Response, query []byte, maxItems 
 		sc.key = appendSearchKey(sc.key[:0], query, maxItems)
 		if v, ok := e.cache.Get(e.stamp, sc.key); ok {
 			copyResponse(resp, v.(*Response))
-			return
+			return nil
 		}
 	}
-	e.searchUncached(sc, resp, query, maxItems)
+	if err := e.searchUncached(ctx, sc, resp, query, maxItems); err != nil {
+		// Abandoned mid-computation: resp is partial, never cache it.
+		return err
+	}
 	if e.cache != nil {
 		e.cache.Put(e.stamp, sc.key, cloneResponse(resp))
 	}
+	return nil
 }
 
 // searchUncached computes the answer through the engines; sc is the
-// caller's pooled scratch.
-func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxItems int) {
+// caller's pooled scratch. ctx is checked between phases and per matched
+// primitive — each check sits just after a shard crossing, so a query
+// stalled by one slow shard is abandoned at the next boundary.
+func (e *Engine) searchUncached(ctx context.Context, sc *scratch, resp *Response, query []byte, maxItems int) error {
 	sc.low = text.AppendLower(sc.low[:0], query)
 	sc.tokens = text.AppendTokensBytes(sc.tokens[:0], sc.low)
 
@@ -186,8 +230,14 @@ func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxIt
 	// buffer so no query string is materialized.
 	sc.name = text.AppendJoinBytes(sc.name[:0], sc.tokens)
 	if id := e.net.FirstByNameKindBytes(sc.name, core.KindEConcept); id != core.InvalidNode {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.appendCard(resp, id, maxItems)
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	// 2. Primitive-concept voting: concepts interpreted by the most
@@ -197,6 +247,9 @@ func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxIt
 	sc.prims = e.appendMatchPrimitives(sc, sc.prims[:0], sc.tokens)
 	clear(sc.votes)
 	for _, prim := range sc.prims {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, he := range e.net.In(prim, core.EdgeInterpretedBy) {
 			sc.votes[he.Peer]++
 		}
@@ -206,6 +259,9 @@ func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxIt
 		sc.heap.Push(id, float64(v))
 	}
 	for _, ent := range sc.heap.Descending() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if int(ent.Score)*2 >= len(sc.prims) { // at least half the query matched
 			e.appendCard(resp, ent.ID, maxItems)
 		}
@@ -217,6 +273,9 @@ func (e *Engine) searchUncached(sc *scratch, resp *Response, query []byte, maxIt
 	clear(sc.seen)
 collect:
 	for _, prim := range sc.prims {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, he := range e.net.In(prim, core.EdgeItemPrimitive) {
 			if maxItems > 0 && len(resp.Items) >= maxItems {
 				break collect
@@ -228,6 +287,7 @@ collect:
 		}
 	}
 	slices.Sort(resp.Items) // unlike sort.Slice, allocation-free
+	return nil
 }
 
 // appendCard appends the concept's card to resp, reviving the Items backing

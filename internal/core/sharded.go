@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"alicoco/internal/faultfs"
 	"alicoco/internal/par"
 )
 
@@ -97,12 +98,17 @@ func (s *ShardSet) Shards() []*FrozenNet { return s.shards }
 func (s *ShardSet) Stride() int { return s.stride }
 
 // owner returns the shard owning a global node ID, or nil for out-of-range
-// ids.
+// ids. Crossing into the owning shard is a query-time fault-injection
+// boundary (faultfs.QueryProbe — one atomic load when nothing is armed):
+// it is where chaos drills make one shard slow, and where a deadline-bound
+// caller's next ctx check abandons admitted-but-doomed work.
 func (s *ShardSet) owner(id NodeID) *FrozenNet {
 	if id < 0 || int(id) >= s.total {
 		return nil
 	}
-	return s.shards[int(id)/s.stride]
+	shard := int(id) / s.stride
+	faultfs.QueryProbe(shard)
+	return s.shards[shard]
 }
 
 // Node returns the node for id; ok is false for invalid ids.
@@ -127,7 +133,8 @@ func (s *ShardSet) NumEdges() int { return s.edges }
 func (s *ShardSet) FindByName(name string) []NodeID {
 	var single []NodeID
 	n, hits := 0, 0
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		faultfs.QueryProbe(i)
 		if ids := sh.byName[name]; len(ids) > 0 {
 			single = ids
 			n += len(ids)
@@ -151,7 +158,8 @@ func (s *ShardSet) FindByNameKind(name string, kind NodeKind) []NodeID {
 
 // AppendFindByNameKind is FindByNameKind into a caller-owned buffer.
 func (s *ShardSet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind) []NodeID {
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		faultfs.QueryProbe(i)
 		dst = sh.AppendFindByNameKind(dst, name, kind)
 	}
 	return dst
@@ -161,7 +169,8 @@ func (s *ShardSet) AppendFindByNameKind(dst []NodeID, name string, kind NodeKind
 // are scanned in ascending order, which reproduces whole-net insertion
 // order because node IDs are assigned sequentially.
 func (s *ShardSet) FirstByNameKind(name string, kind NodeKind) NodeID {
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		faultfs.QueryProbe(i)
 		if id := sh.FirstByNameKind(name, kind); id != InvalidNode {
 			return id
 		}
@@ -173,7 +182,8 @@ func (s *ShardSet) FirstByNameKind(name string, kind NodeKind) NodeID {
 // buffer; each per-shard probe is the allocation-free map lookup, so the
 // scatter costs N map probes and zero allocations.
 func (s *ShardSet) FirstByNameKindBytes(name []byte, kind NodeKind) NodeID {
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		faultfs.QueryProbe(i)
 		if id := sh.FirstByNameKindBytes(name, kind); id != InvalidNode {
 			return id
 		}
@@ -267,7 +277,9 @@ func (s *ShardSet) traverse(dir int, start NodeID, maxDepth int, target NodeID, 
 		if maxDepth > 0 && int(cur.depth) >= maxDepth {
 			continue
 		}
-		sh := s.shards[int(cur.id)/s.stride]
+		shard := int(cur.id) / s.stride
+		faultfs.QueryProbe(shard)
+		sh := s.shards[shard]
 		adj := &sh.out
 		if dir != 0 {
 			adj = &sh.in

@@ -337,3 +337,50 @@ func RemoveAll(path string) error {
 	}
 	return os.RemoveAll(path)
 }
+
+// ---------------------------------------------------------------------------
+// Query-time shard faults: slow (or stall) the in-memory read path of one
+// shard, the injection behind "one slow shard must not stall the whole
+// scatter-gather". Disk faults (Fault/Open above) cannot reach query time —
+// once a snapshot is loaded, serving never touches the filesystem — so the
+// sharded read path calls QueryProbe at every shard boundary instead. The
+// probe costs a single atomic load while nothing is armed.
+// ---------------------------------------------------------------------------
+
+// QueryFault delays every probed access to one shard (or all shards) at
+// query time, simulating a hot, swapping, or NUMA-remote shard.
+type QueryFault struct {
+	// Shard is the shard index to afflict; negative matches every shard.
+	Shard int
+	// Delay is added at each probed shard boundary the fault matches.
+	Delay time.Duration
+}
+
+var queryArmed atomic.Pointer[QueryFault]
+
+// InjectQuery arms a query-time shard fault; the returned restore disarms
+// it. Tests that arm query faults must not run in parallel with other
+// query-path tests — the injection point is process-global (which is
+// exactly why chaos drivers embed the server in-process).
+func InjectQuery(f QueryFault) (restore func()) {
+	queryArmed.Store(&f)
+	return func() { queryArmed.Store(nil) }
+}
+
+// QueryProbe is called by the sharded read path when query execution
+// crosses into the given shard. With no fault armed it is one atomic load;
+// with a matching fault armed it sleeps the injected delay and counts the
+// hit in Injected.
+func QueryProbe(shard int) {
+	f := queryArmed.Load()
+	if f == nil {
+		return
+	}
+	if f.Shard >= 0 && f.Shard != shard {
+		return
+	}
+	injected.Add(1)
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+}

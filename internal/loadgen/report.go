@@ -1,0 +1,77 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// PhaseReport is one phase's Result flattened to stable JSON for
+// BENCH_serve.json — durations in milliseconds, rates in req/s.
+type PhaseReport struct {
+	Name       string  `json:"name"`
+	Mix        string  `json:"mix"`
+	Chaos      bool    `json:"chaos"`
+	RateRPS    float64 `json:"offered_rps"`
+	DurationS  float64 `json:"duration_s"`
+	GoodputRPS float64 `json:"goodput_rps"`
+
+	Counts Counts `json:"counts"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	ShedP99MS float64 `json:"shed_p99_ms"` // how fast 429s come back
+
+	// Notes carries run-specific annotations (e.g. chaos injection stats).
+	Notes map[string]any `json:"notes,omitempty"`
+}
+
+// NewPhaseReport flattens a Result at the rate it was offered.
+func NewPhaseReport(r *Result, rate float64, chaos bool) PhaseReport {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return PhaseReport{
+		Name:       r.Name,
+		Mix:        r.Name,
+		Chaos:      chaos,
+		RateRPS:    rate,
+		DurationS:  r.WallClock.Seconds(),
+		GoodputRPS: r.Goodput,
+		Counts:     r.Counts,
+		P50MS:      ms(r.Lat.Quantile(0.50)),
+		P99MS:      ms(r.Lat.Quantile(0.99)),
+		P999MS:     ms(r.Lat.Quantile(0.999)),
+		MaxMS:      ms(r.Lat.Max()),
+		MeanMS:     ms(r.Lat.Mean()),
+		ShedP99MS:  ms(r.ShedLat.Quantile(0.99)),
+	}
+}
+
+// Report is the whole BENCH_serve.json document.
+type Report struct {
+	Tool       string        `json:"tool"` // "cocoload"
+	Scale      string        `json:"scale"`
+	Shards     int           `json:"shards"`
+	DeadlineMS float64       `json:"deadline_ms"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	Phases     []PhaseReport `json:"phases"`
+	// Violations holds failed SLO assertions; empty means the run passed.
+	Violations []string `json:"slo_violations"`
+}
+
+// Write renders the report as indented JSON at path (atomically enough for
+// a benchmark artifact: write then rename is overkill here).
+func (r *Report) Write(path string) error {
+	if r.Violations == nil {
+		r.Violations = []string{}
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

@@ -8,7 +8,7 @@
 //
 // These tests arm the process-global faultfs fault, so none of them run
 // in t.Parallel.
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -395,12 +396,29 @@ func TestChaosOverloadSheds(t *testing.T) {
 	if code, _ := get(s, "/readyz"); code != http.StatusOK {
 		t.Fatalf("readyz after storm: %d", code)
 	}
-	// Retry-After rides along with every shed.
+	// Retry-After, a JSON Content-Type, and a machine-readable reason ride
+	// along with every shed.
 	s.hook = nil
 	rec := httptest.NewRecorder()
-	s.shed(rec)
+	s.shed(rec, shedSaturated)
 	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("shed response malformed: %d %v", rec.Code, rec.Header())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("shed Content-Type = %q, want application/json", ct)
+	}
+	var shedBody struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &shedBody); err != nil {
+		t.Fatalf("shed body not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if shedBody.Reason != "saturated" || shedBody.Error == "" {
+		t.Fatalf("shed body = %+v", shedBody)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want integer in [1,30]", rec.Header().Get("Retry-After"))
 	}
 }
 

@@ -4,7 +4,7 @@
 // retries, circuit breaker, quarantine of persistently bad files), and
 // graceful SIGTERM/SIGINT drain. The mechanisms live in
 // internal/resilience; this file is the wiring.
-package main
+package serve
 
 import (
 	"context"
@@ -45,6 +45,14 @@ type serveConfig struct {
 	// for a slot, the rest shed with 429. 0 maxInflight disables gating.
 	maxInflight int
 	queueDepth  int
+
+	// targetDelay / shedInterval tune the gate's adaptive controller: when
+	// queued admissions keep waiting longer than targetDelay for a full
+	// shedInterval, the gate starts shedding by priority class (batch
+	// first) before the hard queue limit is reached. 0 means the
+	// resilience package defaults (5ms / 100ms).
+	targetDelay  time.Duration
+	shedInterval time.Duration
 
 	// minBudget is how much of the deadline must remain after admission to
 	// bother dispatching; with less, the request is refused (degraded
@@ -87,6 +95,8 @@ func defaultServeConfig() serveConfig {
 		batchDeadline:    15 * time.Second,
 		maxInflight:      4 * nproc,
 		queueDepth:       16 * nproc,
+		targetDelay:      resilience.DefaultTarget,
+		shedInterval:     resilience.DefaultInterval,
 		minBudget:        time.Millisecond,
 		retries:          3,
 		backoffBase:      200 * time.Millisecond,
@@ -112,21 +122,29 @@ func (s *server) handler() http.Handler {
 
 // admit applies the request-lifecycle policy to a request that missed the
 // response caches: attach the endpoint deadline, then take an engine slot
-// from the admission gate (waiting in its bounded queue within the
-// deadline). It answers 429 + Retry-After and reports ok=false when the
-// server is saturated, the wait exhausted the deadline, or too little
-// budget remains to start engine work — cache hits were served before this
-// point, so under overload the server degrades to cache-hits-only instead
-// of collapsing. On ok=true the caller must call release exactly once.
-func (s *server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration) (ctx context.Context, release func(), ok bool) {
+// from the admission gate at the endpoint's priority class (waiting in the
+// bounded queue within the deadline). It answers 429 + Retry-After and
+// reports ok=false when the server is saturated, the adaptive controller
+// shed this class, the wait exhausted the deadline, or too little budget
+// remains to start engine work — cache hits were served before this point,
+// so under overload the server degrades to cache-hits-only instead of
+// collapsing. On ok=true the caller must call release exactly once.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration, pri resilience.Priority) (ctx context.Context, release func(), ok bool) {
 	ctx = r.Context()
 	cancel := func() {}
 	if deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 	}
-	if err := s.gate.Acquire(ctx); err != nil {
+	if err := s.gate.AcquirePri(ctx, pri); err != nil {
 		cancel()
-		s.shed(w)
+		switch {
+		case errors.Is(err, resilience.ErrQueueDelay):
+			s.shed(w, shedQueueDelay)
+		case errors.Is(err, resilience.ErrSaturated):
+			s.shed(w, shedSaturated)
+		default: // deadline expired or client gone while queued
+			s.shed(w, shedTimeout)
+		}
 		return nil, nil, false
 	}
 	release = func() {
@@ -136,18 +154,65 @@ func (s *server) admit(w http.ResponseWriter, r *http.Request, deadline time.Dur
 	if !resilience.Budget(ctx, s.cfg.minBudget) {
 		s.degraded.Add(1)
 		release()
-		s.shed(w)
+		s.shed(w, shedDegraded)
 		return nil, nil, false
 	}
 	return ctx, release, true
 }
 
-// shed answers 429 with a Retry-After hint — the one overload response the
-// server ever gives (never a timeout, never a 500), so clients and load
-// balancers can tell "back off" from "broken".
-func (s *server) shed(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
-	http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+// shedReason is the machine-readable cause a shed response body carries,
+// so clients and dashboards can tell hard saturation from adaptive
+// queue-delay shedding from deadline exhaustion without string-matching.
+type shedReason uint8
+
+const (
+	shedSaturated  shedReason = iota // hard limit: every slot and queue position taken
+	shedQueueDelay                   // adaptive controller: standing queue delay above target
+	shedTimeout                      // deadline expired while queued or mid-engine
+	shedDegraded                     // admitted with too little budget left to dispatch
+	numShedReasons
+)
+
+// shedBodies are the complete response bodies, encoded once at init like
+// the other tiny error responses — a shed burst is exactly when we least
+// want to encode JSON per refusal.
+var shedBodies = func() [numShedReasons][]byte {
+	names := [numShedReasons]string{"saturated", "queue_delay", "timeout", "degraded"}
+	var b [numShedReasons][]byte
+	for i, n := range names {
+		b[i] = []byte(`{"error":"server overloaded, retry later","reason":"` + n + `"}` + "\n")
+	}
+	return b
+}()
+
+// retryAfterStrs pre-renders every value RetryAfterSeconds can clamp to so
+// shed responses never format an integer per refusal.
+var retryAfterStrs = func() [31]string {
+	var s [31]string
+	for i := range s {
+		s[i] = strconv.Itoa(i)
+	}
+	return s
+}()
+
+// shed answers 429 with a machine-readable reason and a Retry-After hint
+// derived from the gate's observed drain rate (jittered, so a burst of
+// simultaneously shed clients does not retry in lockstep) — the one
+// overload response the server ever gives (never a timeout, never a 500),
+// so clients and load balancers can tell "back off" from "broken".
+func (s *server) shed(w http.ResponseWriter, reason shedReason) {
+	secs := s.gate.RetryAfterSeconds()
+	if secs < 1 {
+		secs = 1
+	} else if secs >= len(retryAfterStrs) {
+		secs = len(retryAfterStrs) - 1
+	}
+	h := w.Header()
+	h.Set("Retry-After", retryAfterStrs[secs])
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_, _ = w.Write(shedBodies[reason])
 }
 
 // writeBodyError maps a request-body read failure to its status: 413 when

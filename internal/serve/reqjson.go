@@ -9,7 +9,7 @@
 // strings a search batch materializes (reflection decoding paid dozens on
 // top). GET parameters are resolved as substrings of the raw query string,
 // unescaping only when an escape is actually present.
-package main
+package serve
 
 import (
 	"io"

@@ -8,7 +8,7 @@
 // "snapstore" section reporting all of it. A flat (pre-catalog) snapshot
 // directory leaves every feature here disabled and serves exactly as
 // before.
-package main
+package serve
 
 import (
 	"errors"

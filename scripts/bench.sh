@@ -39,7 +39,7 @@ fi
 go test -run '^$' \
     -bench 'FrozenVsLocked|FrozenSearchEngine|NetQueries|ColdStart|ParallelFrozen|BatchServe|SearchIntoReused|SegmentInto|ServeCache|BatchDecode|Sharded' \
     -benchmem -benchtime="$BENCHTIME" \
-    . ./internal/text ./cmd/cocoserve | tee "$RAW"
+    . ./internal/text ./internal/serve | tee "$RAW"
 
 awk '
 BEGIN { print "[" ; first = 1 }
