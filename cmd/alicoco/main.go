@@ -9,6 +9,7 @@
 //	alicoco snapshot save [-scale small|default] -shards 4 [-retain 4] -out netdir
 //	alicoco snapshot load -in net.fz [-query "outdoor barbecue"]
 //	alicoco snapshot verify netdir
+//	alicoco metrics lint <file|->
 //
 // `snapshot save` builds the net and writes the frozen serving snapshot —
 // a single file, or with -shards N a generation committed into the
@@ -22,6 +23,11 @@
 // snapshot — all generations of a catalog store — against its manifest and
 // catalog entry, reporting per file and exiting non-zero on any mismatch,
 // without modifying the store.
+//
+// `metrics lint` strict-parses a Prometheus text exposition (a /metrics
+// capture, or stdin with `-`) with the same validator the load driver's
+// cross-check uses, exiting non-zero on any format violation — CI curls
+// the live /metrics through it.
 package main
 
 import (
@@ -50,6 +56,14 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, "usage: alicoco snapshot save|load|verify [flags]")
+		os.Exit(2)
+	}
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if len(os.Args) > 2 && os.Args[2] == "lint" {
+			metricsLint(os.Args[3:])
+			return
+		}
+		fmt.Fprintln(os.Stderr, "usage: alicoco metrics lint <file|->")
 		os.Exit(2)
 	}
 

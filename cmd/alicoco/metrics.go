@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"alicoco/internal/obs"
+)
+
+// metricsLint strict-parses a Prometheus text exposition and reports what
+// it found. The parser is the same one cocoload's cross-check scrapes
+// through, so a lint pass here means the file would survive a chaos run's
+// per-phase scrape too.
+func metricsLint(args []string) {
+	fs := flag.NewFlagSet("metrics lint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alicoco metrics lint <file|->")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	var body []byte
+	var err error
+	if path == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics lint: %v\n", err)
+		os.Exit(1)
+	}
+	p, err := obs.ParseText(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics lint: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range p.Families {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("metrics lint: ok — %d families, %d samples\n", len(p.Families), samples)
+}

@@ -22,14 +22,20 @@ func chaosConfig() config {
 		// Generous deadline: under -race everything runs several times
 		// slower; the SLO is "admitted work finishes in deadline", not "the
 		// race detector is fast".
-		deadline:       800 * time.Millisecond,
-		mix:            "adversarial",
-		batchFrac:      0.05,
-		maxInflight:    2,
-		queueDepth:     4,
-		chaos:          true,
-		floor:          0.4,
-		slowShardDelay: time.Millisecond,
+		deadline:    800 * time.Millisecond,
+		mix:         "adversarial",
+		batchFrac:   0.05,
+		maxInflight: 2,
+		queueDepth:  4,
+		chaos:       true,
+		floor:       0.4,
+		// 3ms per scatter-gather boundary crossing of the slow shard puts a
+		// cache-missing query's service time near 10ms — 2 engine slots then
+		// cap throughput around 200/s against 600 offered, so the gate must
+		// shed regardless of how fast the host is. At 1ms a fast unraced
+		// machine drained the queue and the "overload exercised" assertion
+		// below flaked.
+		slowShardDelay: 3 * time.Millisecond,
 		churnEvery:     50 * time.Millisecond,
 		seed:           1,
 	}

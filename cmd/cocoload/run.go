@@ -16,6 +16,7 @@ import (
 	"alicoco"
 	"alicoco/internal/faultfs"
 	"alicoco/internal/loadgen"
+	"alicoco/internal/obs"
 	"alicoco/internal/resilience"
 	"alicoco/internal/serve"
 )
@@ -198,6 +199,13 @@ func run(cfg config) (*loadgen.Report, error) {
 		GoVersion:  runtime.Version(),
 	}
 	slo := loadgen.SLO{Deadline: cfg.deadline, GoodputFloor: cfg.floor}
+	// In-process runs cross-check the server's /metrics histograms against
+	// the client-observed ones after every phase — including chaos phases:
+	// telemetry that goes wrong under reload churn is worse than none.
+	var scraper *loadgen.Scraper
+	if cfg.inprocess {
+		scraper = &loadgen.Scraper{BaseURL: baseURL, Family: serve.MetricsHistogramName}
+	}
 	phaseIdx := 0
 	newOpts := func(mix *loadgen.Mix) loadgen.Options {
 		return loadgen.Options{
@@ -213,17 +221,55 @@ func run(cfg config) (*loadgen.Report, error) {
 			Seed:          loadgen.PhaseSeed(cfg.seed, phaseIdx),
 		}
 	}
+	// checked brackets one phase with /metrics scrapes and runs the
+	// server-vs-client histogram cross-check on the delta; scrape failures
+	// and disagreements land in the report's violations, never a skip.
+	checked := func(label string, exec func() (*loadgen.Result, error)) (*loadgen.Result, *loadgen.ServerObs, []string, error) {
+		var before obs.HistSnapshot
+		var viols []string
+		scraped := false
+		if scraper != nil {
+			var err error
+			if before, err = scraper.Scrape(); err != nil {
+				viols = append(viols, fmt.Sprintf("%s: pre-phase /metrics scrape failed: %v", label, err))
+			} else {
+				scraped = true
+			}
+		}
+		res, err := exec()
+		if err != nil || !scraped {
+			return res, nil, viols, err
+		}
+		// The server records a request after writing its response, so the
+		// client can finish a phase a beat before the last observations
+		// land in the histogram; let them settle before the closing scrape.
+		time.Sleep(150 * time.Millisecond)
+		after, err := scraper.Scrape()
+		if err != nil {
+			viols = append(viols, fmt.Sprintf("%s: post-phase /metrics scrape failed: %v", label, err))
+			return res, nil, viols, nil
+		}
+		delta := after.Sub(&before)
+		so, v := loadgen.CrossCheck(label, delta, res)
+		return res, &so, append(viols, v...), nil
+	}
+
 	for _, name := range mixes {
 		mix, err := loadgen.NewMix(name, corpus, loadgen.PhaseSeed(cfg.seed, phaseIdx))
 		if err != nil {
 			return nil, err
 		}
-		base, err := loadgen.Run(newOpts(mix))
+		base, sobs, viols, err := checked(name, func() (*loadgen.Result, error) {
+			return loadgen.Run(newOpts(mix))
+		})
 		if err != nil {
 			return nil, err
 		}
 		phaseIdx++
-		rep.Phases = append(rep.Phases, loadgen.NewPhaseReport(base, cfg.rate, false))
+		pr := loadgen.NewPhaseReport(base, cfg.rate, false)
+		pr.Server = sobs
+		rep.Phases = append(rep.Phases, pr)
+		rep.Violations = append(rep.Violations, viols...)
 		rep.Violations = append(rep.Violations, slo.Check(base)...)
 
 		if !cfg.chaos {
@@ -233,16 +279,23 @@ func run(cfg config) (*loadgen.Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		chaosRes, notes, err := runChaos(cfg, newOpts(mix2))
+		var notes map[string]any
+		chaosRes, sobs2, viols2, err := checked(name+"+chaos", func() (*loadgen.Result, error) {
+			r, n, cerr := runChaos(cfg, newOpts(mix2))
+			notes = n
+			return r, cerr
+		})
 		if err != nil {
 			return nil, err
 		}
 		phaseIdx++
 		chaosRes.Name = name + "+chaos" // disambiguate SLO messages
-		pr := loadgen.NewPhaseReport(chaosRes, cfg.rate, true)
+		pr = loadgen.NewPhaseReport(chaosRes, cfg.rate, true)
 		pr.Mix = name
+		pr.Server = sobs2
 		pr.Notes = notes
 		rep.Phases = append(rep.Phases, pr)
+		rep.Violations = append(rep.Violations, viols2...)
 		rep.Violations = append(rep.Violations, slo.Check(chaosRes)...)
 		rep.Violations = append(rep.Violations, slo.CheckGoodput(base, chaosRes)...)
 	}

@@ -1,113 +1,9 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "alicoco/internal/obs"
 
-// Hist is a lock-free latency histogram with geometric buckets: 8 linear
-// sub-buckets per power-of-two octave of microseconds (HdrHistogram's
-// layout, cut down), giving <= 12.5% relative quantile error from 1µs to
-// hours in a fixed 512-slot array of atomics. Record is two atomic adds —
-// safe for every worker goroutine of an open-loop driver to hammer
-// concurrently with zero allocation and no coordination.
-type Hist struct {
-	counts [histBuckets]atomic.Uint64
-	total  atomic.Uint64
-	sumUS  atomic.Uint64
-	maxUS  atomic.Uint64
-}
-
-const (
-	histSubBits = 3
-	histSub     = 1 << histSubBits
-	histBuckets = 512
-)
-
-// histIndex maps a microsecond value to its bucket: values below histSub
-// map linearly (exact), larger values keep histSubBits of mantissa.
-func histIndex(us uint64) int {
-	if us < histSub {
-		return int(us)
-	}
-	exp := bits.Len64(us) - 1 - histSubBits
-	idx := (exp+1)*histSub + int(us>>uint(exp)) - histSub
-	if idx >= histBuckets {
-		return histBuckets - 1
-	}
-	return idx
-}
-
-// histUpper is the inclusive upper bound of a bucket in microseconds —
-// quantiles report it, so they err conservative (never under-report a
-// tail).
-func histUpper(idx int) uint64 {
-	if idx < histSub {
-		return uint64(idx)
-	}
-	exp := idx/histSub - 1
-	if exp >= 60 {
-		return ^uint64(0) // (off+1)<<exp would overflow; ~36,000 years in µs
-	}
-	off := idx%histSub + histSub
-	return (uint64(off+1) << uint(exp)) - 1
-}
-
-// Record adds one latency observation.
-func (h *Hist) Record(d time.Duration) {
-	us := uint64(d.Microseconds())
-	h.counts[histIndex(us)].Add(1)
-	h.total.Add(1)
-	h.sumUS.Add(us)
-	for {
-		cur := h.maxUS.Load()
-		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
-			break
-		}
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *Hist) Count() uint64 { return h.total.Load() }
-
-// Quantile returns the value at quantile q in [0,1] (conservative: the
-// upper bound of the bucket the rank lands in), or 0 with no data. The
-// walk reads each bucket once; concurrent Records may or may not be seen,
-// which is fine for progress reporting and end-of-run summaries alike.
-func (h *Hist) Quantile(q float64) time.Duration {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen > rank {
-			us := histUpper(i)
-			if m := h.maxUS.Load(); us > m {
-				us = m // never report past the observed max
-			}
-			return time.Duration(us) * time.Microsecond
-		}
-	}
-	return time.Duration(h.maxUS.Load()) * time.Microsecond
-}
-
-// Max returns the largest recorded observation.
-func (h *Hist) Max() time.Duration {
-	return time.Duration(h.maxUS.Load()) * time.Microsecond
-}
-
-// Mean returns the arithmetic mean of recorded observations.
-func (h *Hist) Mean() time.Duration {
-	t := h.total.Load()
-	if t == 0 {
-		return 0
-	}
-	return time.Duration(h.sumUS.Load()/t) * time.Microsecond
-}
+// Hist is the shared lock-free latency histogram, promoted to
+// internal/obs so the serving tier's /metrics endpoint and this load
+// driver measure with identical buckets — that is what lets cocoload
+// cross-check the server-observed histogram against its own exactly.
+type Hist = obs.Hist

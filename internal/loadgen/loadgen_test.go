@@ -12,55 +12,6 @@ import (
 	"alicoco/internal/resilience"
 )
 
-func TestHistQuantilesConservative(t *testing.T) {
-	var h Hist
-	for i := 1; i <= 1000; i++ {
-		h.Record(time.Duration(i) * time.Millisecond)
-	}
-	if got := h.Count(); got != 1000 {
-		t.Fatalf("Count = %d, want 1000", got)
-	}
-	checks := []struct {
-		q    float64
-		want time.Duration
-	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}}
-	for _, c := range checks {
-		got := h.Quantile(c.q)
-		// Conservative: at or above the true quantile, within the 12.5%
-		// bucket-width error, never past the max.
-		if got < c.want || got > c.want+c.want/8+time.Millisecond || got > h.Max() {
-			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", c.q, got, c.want, c.want+c.want/8)
-		}
-	}
-	if h.Max() != time.Second {
-		t.Errorf("Max = %v, want 1s", h.Max())
-	}
-	if m := h.Mean(); m < 480*time.Millisecond || m > 520*time.Millisecond {
-		t.Errorf("Mean = %v, want ~500ms", m)
-	}
-}
-
-func TestHistIndexRoundTrip(t *testing.T) {
-	// Every value must land in a bucket whose upper bound is >= the value
-	// (quantiles never under-report).
-	for _, us := range []uint64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1_000_000, 3_600_000_000} {
-		idx := histIndex(us)
-		if idx < 0 || idx >= histBuckets {
-			t.Fatalf("histIndex(%d) = %d out of range", us, idx)
-		}
-		if idx < histBuckets-1 && histUpper(idx) < us {
-			t.Errorf("histUpper(histIndex(%d)) = %d < value", us, histUpper(idx))
-		}
-	}
-	// Monotone bucket bounds until the top buckets saturate at max uint64
-	// (values up there are ~36,000 years in µs — unreachable latencies).
-	for i := 1; i < histBuckets && histUpper(i) != ^uint64(0); i++ {
-		if histUpper(i) <= histUpper(i-1) {
-			t.Fatalf("histUpper not monotone at %d: %d <= %d", i, histUpper(i), histUpper(i-1))
-		}
-	}
-}
-
 func testCorpus(t *testing.T) *Corpus {
 	t.Helper()
 	c, err := alicoco.Build(alicoco.Small())

@@ -26,6 +26,11 @@ type PhaseReport struct {
 
 	ShedP99MS float64 `json:"shed_p99_ms"` // how fast 429s come back
 
+	// Server is the server-side view of the same phase, reconstructed
+	// from /metrics scrapes taken around it (nil when the run had no
+	// scrape access, e.g. load against a remote server without -metrics).
+	Server *ServerObs `json:"server_obs,omitempty"`
+
 	// Notes carries run-specific annotations (e.g. chaos injection stats).
 	Notes map[string]any `json:"notes,omitempty"`
 }

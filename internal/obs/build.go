@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Build identity, stamped by the release build:
+//
+//	go build -ldflags "-X alicoco/internal/obs.Version=v1.2.3 -X alicoco/internal/obs.GitSHA=$(git rev-parse HEAD)"
+//
+// Unstamped builds report Version "dev" and fall back to the VCS
+// revision Go embeds in the binary (when built from a checkout).
+var (
+	Version = "dev"
+	GitSHA  = ""
+)
+
+// StartTime is when this process started.
+var StartTime = time.Now()
+
+// ResolvedGitSHA returns the stamped GitSHA, or the module build info's
+// vcs.revision when no stamp was injected, or "unknown".
+func ResolvedGitSHA() string {
+	if GitSHA != "" {
+		return GitSHA
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// BuildInfo is the build identity block surfaced by /stats and the
+// build_info metric.
+type BuildInfo struct {
+	Version       string  `json:"version"`
+	GitSHA        string  `json:"git_sha"`
+	GoVersion     string  `json:"go_version"`
+	StartedAt     string  `json:"started_at"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// CurrentBuildInfo snapshots the build identity and current uptime.
+func CurrentBuildInfo() BuildInfo {
+	return BuildInfo{
+		Version:       Version,
+		GitSHA:        ResolvedGitSHA(),
+		GoVersion:     runtime.Version(),
+		StartedAt:     StartTime.UTC().Format(time.RFC3339),
+		UptimeSeconds: time.Since(StartTime).Seconds(),
+	}
+}
+
+// RegisterBuildInfo adds the conventional build_info gauge (constant 1,
+// identity carried in labels).
+func RegisterBuildInfo(r *Registry, name string) {
+	r.NewGaugeFunc(name,
+		"Build identity; constant 1 with version labels.",
+		func() float64 { return 1 },
+		"version", Version,
+		"go_version", runtime.Version(),
+		"git_sha", ResolvedGitSHA(),
+	)
+}

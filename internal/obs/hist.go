@@ -1,0 +1,232 @@
+// Package obs is the production observability layer: a lock-free
+// latency histogram shared by the serving tier and the load harness, a
+// dependency-free Prometheus text-format metric registry built on it,
+// a strict exposition parser (used by tests and by cocoload's
+// server-vs-client cross-check), and process/build metadata collectors.
+// Everything a request path touches is atomic-ops only; rendering and
+// collection costs are paid at scrape time.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-free latency histogram with geometric buckets: 8 linear
+// sub-buckets per power-of-two octave of microseconds (HdrHistogram's
+// layout, cut down), giving <= 12.5% relative quantile error from 1µs to
+// hours in a fixed 512-slot array of atomics. Record is two atomic adds —
+// safe for every request-handling goroutine (or every worker of an
+// open-loop load driver) to hammer concurrently with zero allocation and
+// no coordination. Promoted here from internal/loadgen so the serving
+// tier's /metrics endpoint and the load harness measure with the same
+// buckets — which is what makes cocoload's server-vs-client histogram
+// cross-check exact rather than approximate.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sumUS  atomic.Uint64
+	maxUS  atomic.Uint64
+}
+
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	histBuckets = 512
+)
+
+// HistBuckets is the fixed bucket count of every Hist.
+const HistBuckets = histBuckets
+
+// histIndex maps a microsecond value to its bucket: values below histSub
+// map linearly (exact), larger values keep histSubBits of mantissa.
+func histIndex(us uint64) int {
+	if us < histSub {
+		return int(us)
+	}
+	exp := bits.Len64(us) - 1 - histSubBits
+	idx := (exp+1)*histSub + int(us>>uint(exp)) - histSub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histUpper is the inclusive upper bound of a bucket in microseconds —
+// quantiles report it, so they err conservative (never under-report a
+// tail).
+func histUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	exp := idx/histSub - 1
+	if exp >= 60 {
+		return ^uint64(0) // (off+1)<<exp would overflow; ~36,000 years in µs
+	}
+	off := idx%histSub + histSub
+	return (uint64(off+1) << uint(exp)) - 1
+}
+
+// BucketUpperSeconds is the inclusive upper bound of bucket idx in
+// seconds, the unit the Prometheus exposition uses for `le` labels. The
+// saturated top buckets (bounds past ~36,000 years) report +Inf.
+func BucketUpperSeconds(idx int) float64 {
+	us := histUpper(idx)
+	if us == ^uint64(0) {
+		return inf
+	}
+	return float64(us) / 1e6
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.counts[histIndex(us)].Add(1)
+	h.total.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// Quantile returns the value at quantile q in [0,1] (conservative: the
+// upper bound of the bucket the rank lands in), or 0 with no data. The
+// walk reads each bucket once; concurrent Records may or may not be seen,
+// which is fine for progress reporting and end-of-run summaries alike.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			us := histUpper(i)
+			if m := h.maxUS.Load(); us > m {
+				us = m // never report past the observed max
+			}
+			return time.Duration(us) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxUS.Load()) * time.Microsecond
+}
+
+// Max returns the largest recorded observation.
+func (h *Hist) Max() time.Duration {
+	return time.Duration(h.maxUS.Load()) * time.Microsecond
+}
+
+// Mean returns the arithmetic mean of recorded observations.
+func (h *Hist) Mean() time.Duration {
+	t := h.total.Load()
+	if t == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUS.Load()/t) * time.Microsecond
+}
+
+// HistSnapshot is a point-in-time copy of a Hist: plain uint64s, safe to
+// diff, merge, and serialize. Total is recomputed as the sum of the
+// bucket counts read during the snapshot, so a snapshot is always
+// internally consistent (its +Inf cumulative bucket equals its count)
+// even when taken mid-Record — exactly the invariant the Prometheus
+// exposition format requires.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Total  uint64 // sum of Counts (not the racy live total)
+	SumUS  uint64
+	MaxUS  uint64 // 0 when unknown (snapshots reconstructed from a scrape)
+}
+
+// Snapshot copies the histogram's state. Concurrent Records land in the
+// snapshot or the next one; per-bucket counts are monotone across
+// successive snapshots.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Total += c
+	}
+	s.SumUS = h.sumUS.Load()
+	s.MaxUS = h.maxUS.Load()
+	return s
+}
+
+// Count returns the snapshot's observation count.
+func (s *HistSnapshot) Count() uint64 { return s.Total }
+
+// Quantile is Hist.Quantile over the frozen counts. When MaxUS is zero
+// (scrape-reconstructed snapshots), the bucket upper bound is reported
+// without the observed-max clamp.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Total))
+	if rank >= s.Total {
+		rank = s.Total - 1
+	}
+	var seen uint64
+	for i := range s.Counts {
+		seen += s.Counts[i]
+		if seen > rank {
+			us := histUpper(i)
+			if s.MaxUS != 0 && us > s.MaxUS {
+				us = s.MaxUS
+			}
+			return time.Duration(us) * time.Microsecond
+		}
+	}
+	return time.Duration(s.MaxUS) * time.Microsecond
+}
+
+// Mean returns the snapshot's arithmetic mean, 0 with no data.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	return time.Duration(s.SumUS/s.Total) * time.Microsecond
+}
+
+// Sub returns the per-bucket difference s − prev: the observations that
+// arrived between two snapshots of the same (monotone) histogram.
+// Buckets where prev exceeds s clamp to zero rather than underflowing.
+func (s *HistSnapshot) Sub(prev *HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.Counts {
+		if s.Counts[i] > prev.Counts[i] {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+			d.Total += d.Counts[i]
+		}
+	}
+	if s.SumUS > prev.SumUS {
+		d.SumUS = s.SumUS - prev.SumUS
+	}
+	d.MaxUS = 0 // the interval's max is unknowable from endpoints alone
+	return d
+}
+
+// Merge adds o's observations into s (same bucket layout by construction).
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+		s.Total += o.Counts[i]
+	}
+	s.SumUS += o.SumUS
+	if o.MaxUS > s.MaxUS {
+		s.MaxUS = o.MaxUS
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantilesConservative(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("Count = %d, want 1000", got)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Conservative: at or above the true quantile, within the 12.5%
+		// bucket-width error, never past the max.
+		if got < c.want || got > c.want+c.want/8+time.Millisecond || got > h.Max() {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", c.q, got, c.want, c.want+c.want/8)
+		}
+	}
+	if h.Max() != time.Second {
+		t.Errorf("Max = %v, want 1s", h.Max())
+	}
+	if m := h.Mean(); m < 480*time.Millisecond || m > 520*time.Millisecond {
+		t.Errorf("Mean = %v, want ~500ms", m)
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// (quantiles never under-report).
+	for _, us := range []uint64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1_000_000, 3_600_000_000} {
+		idx := histIndex(us)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", us, idx)
+		}
+		if idx < histBuckets-1 && histUpper(idx) < us {
+			t.Errorf("histUpper(histIndex(%d)) = %d < value", us, histUpper(idx))
+		}
+	}
+	// Monotone bucket bounds until the top buckets saturate at max uint64
+	// (values up there are ~36,000 years in µs — unreachable latencies).
+	for i := 1; i < histBuckets && histUpper(i) != ^uint64(0); i++ {
+		if histUpper(i) <= histUpper(i-1) {
+			t.Fatalf("histUpper not monotone at %d: %d <= %d", i, histUpper(i), histUpper(i-1))
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	if got := h.Quantile(0.999); got != 0 {
+		t.Errorf("empty Quantile(0.999) = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	if got := h.Max(); got != 0 {
+		t.Errorf("empty Max = %v, want 0", got)
+	}
+	if got := h.Count(); got != 0 {
+		t.Errorf("empty Count = %d, want 0", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != 0 || snap.Quantile(0.99) != 0 || snap.Mean() != 0 {
+		t.Errorf("empty snapshot not all-zero: count=%d q99=%v mean=%v",
+			snap.Count(), snap.Quantile(0.99), snap.Mean())
+	}
+}
+
+func TestHistSnapshotSubMerge(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	before := h.Snapshot()
+	for i := 101; i <= 300; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	after := h.Snapshot()
+	delta := after.Sub(&before)
+	if delta.Count() != 200 {
+		t.Fatalf("delta count = %d, want 200", delta.Count())
+	}
+	// The interval held 101..300ms, median 200ms; conservative quantile
+	// stays within a bucket width above.
+	if q := delta.Quantile(0.5); q < 200*time.Millisecond || q > 230*time.Millisecond {
+		t.Errorf("delta p50 = %v, want ~200ms", q)
+	}
+	merged := before
+	merged.Merge(&delta)
+	if merged.Count() != after.Count() || merged.SumUS != after.SumUS {
+		t.Errorf("before+delta != after: count %d vs %d, sum %d vs %d",
+			merged.Count(), after.Count(), merged.SumUS, after.SumUS)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != after.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != after %d", i, merged.Counts[i], after.Counts[i])
+		}
+	}
+}
+
+func TestBucketUpperSeconds(t *testing.T) {
+	if got := BucketUpperSeconds(histIndex(1000)); got < 0.001 {
+		t.Errorf("bound for 1ms bucket = %v, want >= 0.001", got)
+	}
+	// The saturated top must render +Inf, matching the exposition.
+	top := BucketUpperSeconds(histBuckets - 1)
+	if top != inf {
+		t.Errorf("top bucket bound = %v, want +Inf", top)
+	}
+	if HistBuckets != histBuckets {
+		t.Errorf("HistBuckets = %d, want %d", HistBuckets, histBuckets)
+	}
+}

@@ -665,11 +665,12 @@ func TestStatsResilienceSection(t *testing.T) {
 }
 
 // TestServeCacheHitMiddlewareZeroAllocs guards the acceptance criterion
-// that the resilience middleware adds no per-request allocations on the
+// that the middleware stack adds no per-request allocations on the
 // cache-hit path: the full production handler chain (recover middleware +
-// mux + handler) costs exactly what the bare mux did before this layer
-// existed — one alloc/op, measured by BenchmarkServeCacheHit against
-// BENCH_core.json.
+// mux + telemetry envelope + handler) measures zero allocs/op — metric
+// recording is atomic ops into a pooled wrapper, and the cached-response
+// writers assign shared pre-allocated header value slices instead of
+// paying Header().Set's per-call []string.
 func TestServeCacheHitMiddlewareZeroAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("AllocsPerRun is meaningless under -race (sync.Pool drops items)")
@@ -686,9 +687,7 @@ func TestServeCacheHitMiddlewareZeroAllocs(t *testing.T) {
 		rec.Body.Reset()
 		h.ServeHTTP(rec, req)
 	})
-	// The pre-middleware baseline for this exact path is 1 alloc/op
-	// (BENCH_core.json); the middleware must not add to it.
-	if allocs > 1 {
-		t.Fatalf("cache-hit path through middleware: %.1f allocs/op, want <= 1", allocs)
+	if allocs > 0 {
+		t.Fatalf("cache-hit path through middleware: %.1f allocs/op, want 0", allocs)
 	}
 }

@@ -39,6 +39,9 @@ type Config struct {
 	// Snapshot, when non-empty, is the single-file snapshot /reload
 	// re-reads.
 	Snapshot string
+	// SlowQuery, when > 0, logs responses slower than the threshold and
+	// counts them in cocoserve_slow_queries_total; 0 disables.
+	SlowQuery time.Duration
 }
 
 // Disabled turns off a Config knob whose zero value means "default".
@@ -68,6 +71,9 @@ func (c Config) toServeConfig() serveConfig {
 	applyDur(&cfg.batchDeadline, c.BatchDeadline)
 	applyDur(&cfg.targetDelay, c.TargetDelay)
 	applyDur(&cfg.shedInterval, c.ShedInterval)
+	if c.SlowQuery > 0 {
+		cfg.slowQuery = c.SlowQuery
+	}
 	return cfg
 }
 

@@ -80,6 +80,16 @@ type serveConfig struct {
 	retain        int
 	scrubInterval time.Duration
 	validate      func(*alicoco.CoCo) error
+
+	// slowQuery is the -slow-query threshold: responses at or above it
+	// emit a correlation log line (endpoint, latency, generation, request
+	// ID) and count in cocoserve_slow_queries_total. 0 disables the log.
+	slowQuery time.Duration
+
+	// pprofAddr, when non-empty, serves net/http/pprof on its own private
+	// listener — the profiling surface is never mounted on the serving
+	// mux. See pprof.go in this package.
+	pprofAddr string
 }
 
 // defaultDrainTimeout bounds how long shutdown waits for in-flight
@@ -130,6 +140,13 @@ func (s *server) handler() http.Handler {
 // so under overload the server degrades to cache-hits-only instead of
 // collapsing. On ok=true the caller must call release exactly once.
 func (s *server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration, pri resilience.Priority) (ctx context.Context, release func(), ok bool) {
+	// Every request that reaches admission gets a correlation ID (unless
+	// the client's was already echoed): assigned before the gate so shed
+	// responses carry one too. The miss path allocates anyway; cache hits
+	// were served before this point and skip the assignment cost.
+	if h := w.Header(); h[ridHeader] == nil {
+		h[ridHeader] = []string{newRequestID()}
+	}
 	ctx = r.Context()
 	cancel := func() {}
 	if deadline > 0 {
@@ -463,6 +480,13 @@ func serveListener(s *server, ln net.Listener, refresh, drainTimeout time.Durati
 	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
+	if s.cfg.pprofAddr != "" {
+		stop, err := startPprof(s.cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	if refresh > 0 {
 		wg.Add(1)
 		go func() {

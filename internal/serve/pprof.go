@@ -1,0 +1,47 @@
+// The -pprof-addr private profiling listener. Profiling handlers leak
+// heap contents, symbol tables, and CPU time, so they never mount on the
+// serving mux: they get their own listener on an operator-chosen
+// (typically loopback or private-network) address, registered by hand so
+// nothing here touches http.DefaultServeMux either.
+package serve
+
+import (
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// pprofMux is the private profiling route table.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startPprof serves the profiling mux on its own listener; the returned
+// stop closes it. A profile or trace in flight when stop runs is cut off
+// — shutdown must not wait out a 30-second CPU profile.
+func startPprof(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           pprofMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			log.Printf("pprof listener: %v", serr)
+		}
+	}()
+	log.Printf("pprof listening on %s (private; never on the serving mux)", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"alicoco"
+	"alicoco/internal/obs"
 	"alicoco/internal/qcache"
 	"alicoco/internal/resilience"
 	"alicoco/internal/snapstore"
@@ -141,6 +142,11 @@ type server struct {
 	// admission ("search.engine", ...) — the fault-injection seam chaos
 	// tests use to panic or stall inside a request.
 	hook func(op string)
+
+	// metrics is the /metrics registry plus the request-path instruments;
+	// built by newServerCfg (or lazily by mux for bare test literals).
+	// See metrics.go in this package.
+	metrics *serveMetrics
 }
 
 // newServer wires a server around a facade with the given per-cache entry
@@ -172,6 +178,7 @@ func newServerCfg(coco *alicoco.CoCo, snapshot string, cfg serveConfig) *server 
 		s.breaker = resilience.NewBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
 	}
 	s.backoff = resilience.NewBackoff(cfg.backoffBase, cfg.backoffMax, time.Now().UnixNano())
+	s.metrics = newServeMetrics(s)
 	return s
 }
 
@@ -251,9 +258,21 @@ func (s *server) writeResults(w http.ResponseWriter, results any) {
 	}
 }
 
+// Shared pre-allocated header values: assigning these slices directly
+// into the (canonical-key) header map skips the []string{v} allocation
+// Header().Set pays per call. net/http only reads header values, so one
+// shared slice serving every response is safe — and it is what keeps the
+// cache-hit path's single remaining allocation free for the request-ID
+// echo instead of the Content-Type header.
+var (
+	hdrJSON    = []string{"application/json"}
+	hdrText    = []string{"text/plain; charset=utf-8"}
+	hdrNosniff = []string{"nosniff"}
+)
+
 // writeJSONBytes serves an already-encoded cached response.
 func writeJSONBytes(w http.ResponseWriter, b []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header()["Content-Type"] = hdrJSON
 	if _, err := w.Write(b); err != nil {
 		log.Printf("write: %v", err)
 	}
@@ -282,8 +301,8 @@ func writeCached(w http.ResponseWriter, v any) {
 // would have produced for the same message and status.
 func writeErrorBytes(w http.ResponseWriter, cr *cachedResp) {
 	h := w.Header()
-	h.Set("Content-Type", "text/plain; charset=utf-8")
-	h.Set("X-Content-Type-Options", "nosniff")
+	h["Content-Type"] = hdrText
+	h["X-Content-Type-Options"] = hdrNosniff
 	w.WriteHeader(cr.status)
 	if _, err := w.Write(cr.body); err != nil {
 		log.Printf("write: %v", err)
@@ -308,6 +327,7 @@ func (s *server) errorCaching(w http.ResponseWriter, msg string, status int, cac
 // the resilience counters.
 type statsResponse struct {
 	alicoco.Stats
+	Build      obs.BuildInfo  `json:"build"`
 	Snapshot   snapshotInfo   `json:"snapshot"`
 	Snapstore  snapstoreInfo  `json:"snapstore"`
 	Cache      cacheInfo      `json:"cache"`
@@ -441,6 +461,7 @@ func (s *server) snapshotInfo() snapshotInfo {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, statsResponse{
 		Stats:      s.coco.Stats(),
+		Build:      obs.CurrentBuildInfo(),
 		Snapshot:   s.snapshotInfo(),
 		Snapstore:  s.snapstoreInfo(),
 		Cache:      s.cacheInfo(),
@@ -722,17 +743,25 @@ func (s *server) reload() (source string, err error) {
 	return "refreeze", s.coco.Refreeze()
 }
 
+// mux builds the route table. Query, lifecycle, and stats routes run
+// inside the telemetry envelope (metrics.go); /metrics itself and the
+// health probes stay outside it — probes and scrapes must not skew the
+// traffic counters, and must keep answering no matter what.
 func (s *server) mux() *http.ServeMux {
+	if s.metrics == nil {
+		s.metrics = newServeMetrics(s) // bare &server{} literals in tests
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/search/batch", s.handleSearchBatch)
-	mux.HandleFunc("/concept", s.handleConcept)
-	mux.HandleFunc("/recommend", s.handleRecommend)
-	mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
-	mux.HandleFunc("/hypernyms", s.handleHypernyms)
-	mux.HandleFunc("/reload", s.handleReload)
-	mux.HandleFunc("/rollback", s.handleRollback)
+	mux.HandleFunc("/stats", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("/search", s.instrument(epSearch, s.handleSearch))
+	mux.HandleFunc("/search/batch", s.instrument(epSearchBatch, s.handleSearchBatch))
+	mux.HandleFunc("/concept", s.instrument(epConcept, s.handleConcept))
+	mux.HandleFunc("/recommend", s.instrument(epRecommend, s.handleRecommend))
+	mux.HandleFunc("/recommend/batch", s.instrument(epRecommendBatch, s.handleRecommendBatch))
+	mux.HandleFunc("/hypernyms", s.instrument(epHypernyms, s.handleHypernyms))
+	mux.HandleFunc("/reload", s.instrument(epReload, s.handleReload))
+	mux.HandleFunc("/rollback", s.instrument(epRollback, s.handleRollback))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -770,6 +799,10 @@ func Main() {
 		"committed snapshot generations to keep on disk when -snapshot-dir is a generation catalog")
 	scrubInterval := flag.Duration("scrub-interval", 0,
 		"if > 0, re-hash the served snapshot files against their manifest on this interval, quarantining and repairing corruption")
+	slowQuery := flag.Duration("slow-query", 0,
+		"if > 0, log responses slower than this (endpoint, latency, generation, request ID) and count them in cocoserve_slow_queries_total")
+	pprofAddr := flag.String("pprof-addr", "",
+		"if set, serve net/http/pprof on this address via a separate private listener (never on the serving mux)")
 	flag.Parse()
 
 	var coco *alicoco.CoCo
@@ -815,6 +848,8 @@ func Main() {
 	cfg.shedInterval = *shedInterval
 	cfg.retain = *retain
 	cfg.scrubInterval = *scrubInterval
+	cfg.slowQuery = *slowQuery
+	cfg.pprofAddr = *pprofAddr
 	s := newServerCfg(coco, *snapshot, cfg)
 	s.snapshotDir = *snapshotDir
 	s.initStore()
